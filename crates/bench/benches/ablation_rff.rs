@@ -1,0 +1,48 @@
+//! Ablation bench for the RBF-SVM substitution: random-Fourier-feature
+//! dimensionality vs fit cost (DESIGN.md §5 — the substitution's main
+//! tunable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ml::{Classifier, RbfSvm, RbfSvmConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn xor_data(n: usize) -> (Vec<Vec<f64>>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for _ in 0..n {
+        let a: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        let b: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        x.push(vec![a + rng.gen_range(-0.3..0.3), b + rng.gen_range(-0.3..0.3)]);
+        y.push(u8::from(a * b > 0.0));
+    }
+    (x, y)
+}
+
+fn bench_rff(c: &mut Criterion) {
+    let (x, y) = xor_data(400);
+    let mut group = c.benchmark_group("rff_dim");
+    for dim in [64usize, 128, 256, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            b.iter(|| {
+                let mut m = RbfSvm::new(RbfSvmConfig {
+                    gamma: Some(1.0),
+                    n_features: dim,
+                    ..Default::default()
+                });
+                m.fit(&x, &y);
+                black_box(m.predict_proba(&x[0]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rff
+}
+criterion_main!(benches);

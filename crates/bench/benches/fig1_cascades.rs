@@ -1,0 +1,62 @@
+//! Figure 1 bench: cascade simulation and susceptible-set computation,
+//! hateful vs non-hate dynamics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socialsim::cascade::{susceptible_growth, CascadeSimulator};
+use socialsim::users::generate_users;
+use socialsim::{FollowerGraph, SimConfig, TopicRoster};
+use std::hint::black_box;
+
+fn bench_cascades(c: &mut Criterion) {
+    let cfg = SimConfig {
+        n_users: 1000,
+        ..SimConfig::default()
+    };
+    let users = generate_users(cfg.n_users, cfg.n_days, 1);
+    let flags: Vec<bool> = users.iter().map(|u| u.base_hate > 0.25).collect();
+    let graph = FollowerGraph::generate_with_hate_core(
+        cfg.n_users,
+        cfg.follows_per_user,
+        cfg.n_communities,
+        cfg.community_affinity,
+        &flags,
+        2,
+    );
+    let roster = TopicRoster::paper_roster();
+    let mean_rt = roster.iter().map(|t| t.avg_retweets).sum::<f64>() / roster.len() as f64;
+    let sim = CascadeSimulator::new(&graph, &users, &cfg, mean_rt);
+    let topic = roster.get(9); // IPIM, high volume
+
+    c.bench_function("fig1/simulate_nonhate_cascade", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut root = 0usize;
+        b.iter(|| {
+            root = (root + 13) % 1000;
+            black_box(sim.simulate(root, topic, 0.0, false, &mut rng))
+        })
+    });
+    c.bench_function("fig1/simulate_hate_cascade", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut root = 0usize;
+        b.iter(|| {
+            root = (root + 13) % 1000;
+            black_box(sim.simulate(root, topic, 0.0, true, &mut rng))
+        })
+    });
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let rts = sim.simulate(0, topic, 0.0, false, &mut rng);
+    let offsets = [1.0, 8.0, 24.0, 96.0, 336.0];
+    c.bench_function("fig1/susceptible_growth", |b| {
+        b.iter(|| black_box(susceptible_growth(&graph, 0, &rts, 0.0, &offsets)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cascades
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figures 5/6 bench: ranking-metric computation (MAP@k, HITS@k) and the
+//! rudimentary diffusion baselines (SIR, threshold) that feed Table VI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diffusion::{RetweetTask, SirModel, ThresholdModel};
+use ml::metrics::{hits_at_k, map_at_k, rank_by_score};
+use socialsim::{Dataset, SimConfig};
+use std::hint::black_box;
+
+fn bench_ranking(c: &mut Criterion) {
+    let data = Dataset::generate(SimConfig::tiny());
+    let samples = RetweetTask {
+        min_news: 0,
+        max_candidates: 100,
+        ..Default::default()
+    }
+    .build(&data);
+
+    // Synthetic score lists at Fig-5 shape.
+    let lists: Vec<Vec<bool>> = samples
+        .iter()
+        .map(|s| {
+            let scores: Vec<f64> = (0..s.labels.len()).map(|i| (i % 17) as f64).collect();
+            rank_by_score(&scores, &s.labels)
+        })
+        .collect();
+    c.bench_function("fig5/map_at_20", |b| {
+        b.iter(|| black_box(map_at_k(&lists, 20)))
+    });
+    c.bench_function("fig5/hits_at_k_grid", |b| {
+        b.iter(|| {
+            for k in [1usize, 5, 10, 20, 50, 100] {
+                black_box(hits_at_k(&lists, k));
+            }
+        })
+    });
+
+    let sir = SirModel::new(0.05, 0.35, 0);
+    c.bench_function("table6/sir_predict_one_sample", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % samples.len();
+            black_box(sir.predict_proba(data.graph(), &samples[i]))
+        })
+    });
+    let th = ThresholdModel::new(1.5, 0);
+    c.bench_function("table6/threshold_predict_one_sample", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % samples.len();
+            black_box(th.predict_proba(data.graph(), &samples[i]))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ranking
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table II bench: corpus generation and statistics computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socialsim::{Dataset, SimConfig};
+use std::hint::black_box;
+
+fn bench_dataset(c: &mut Criterion) {
+    c.bench_function("table2/generate_tiny_corpus", |b| {
+        b.iter(|| Dataset::generate(black_box(SimConfig::tiny())))
+    });
+    let data = Dataset::generate(SimConfig::tiny());
+    c.bench_function("table2/hashtag_stats", |b| {
+        b.iter(|| black_box(data.hashtag_stats()))
+    });
+    c.bench_function("table2/history_lookup", |b| {
+        let mut u = 0usize;
+        b.iter(|| {
+            u = (u + 7) % data.users().len();
+            black_box(data.history_before(u, 1000.0, 30))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dataset
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table IV bench: feature extraction and one classifier cell of the
+//! hate-generation grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retina_core::experiments::ExperimentContext;
+use retina_core::features::HategenFeatures;
+use retina_core::hategen::{HategenPipeline, ModelKind, Processing};
+use std::hint::black_box;
+
+fn bench_hategen(c: &mut Criterion) {
+    let ctx = ExperimentContext::build(ExperimentContext::smoke_config(), 2);
+    let feats = HategenFeatures::new(&ctx.data, &ctx.models, &ctx.silver);
+    let samples = HategenPipeline::build_samples(&ctx.data, 20);
+
+    c.bench_function("table4/feature_extraction_one_sample", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % samples.len();
+            let s = &samples[i];
+            black_box(feats.extract(s.user, s.topic, s.t0, None))
+        })
+    });
+
+    let pipe = HategenPipeline::new(&feats, &samples, None, 0);
+    c.bench_function("table4/dectree_ds_cell", |b| {
+        b.iter(|| black_box(pipe.run_cell(ModelKind::DecTree, Processing::Downsample)))
+    });
+    c.bench_function("table4/logreg_none_cell", |b| {
+        b.iter(|| black_box(pipe.run_cell(ModelKind::LogReg, Processing::None)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hategen
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table V bench: the feature-ablation pipeline (one ablated cell).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retina_core::experiments::ExperimentContext;
+use retina_core::features::{FeatureGroup, HategenFeatures};
+use retina_core::hategen::{HategenPipeline, ModelKind, Processing};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let ctx = ExperimentContext::build(ExperimentContext::smoke_config(), 2);
+    let feats = HategenFeatures::new(&ctx.data, &ctx.models, &ctx.silver);
+    let samples = HategenPipeline::build_samples(&ctx.data, 20);
+
+    c.bench_function("table5/pipeline_no_exogenous", |b| {
+        b.iter(|| {
+            let pipe = HategenPipeline::new(
+                black_box(&feats),
+                &samples,
+                Some(FeatureGroup::Exogenous),
+                0,
+            );
+            black_box(pipe.run_cell(ModelKind::DecTree, Processing::Downsample))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

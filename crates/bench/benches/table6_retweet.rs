@@ -1,0 +1,104 @@
+//! Table VI bench: RETINA training epoch cost (static and dynamic) and
+//! single-sample inference, at smoke scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use diffusion::RetweetTask;
+use retina_core::experiments::ExperimentContext;
+use retina_core::features::RetweetFeatures;
+use retina_core::retina::{default_intervals, pack_sample, Retina, RetinaConfig, RetinaMode};
+use retina_core::trainer::{train_retina, TrainConfig};
+use std::hint::black_box;
+
+fn bench_retina(c: &mut Criterion) {
+    let ctx = ExperimentContext::build(ExperimentContext::smoke_config(), 2);
+    let feats = RetweetFeatures::new(&ctx.data, &ctx.models, &ctx.silver);
+    let task = RetweetTask {
+        min_news: 20,
+        max_candidates: 30,
+        ..Default::default()
+    };
+    let samples = task.build(&ctx.data);
+    let intervals = default_intervals();
+    let packed: Vec<_> = samples
+        .iter()
+        .take(40)
+        .map(|s| pack_sample(&feats, s, &intervals, 15))
+        .collect();
+    let d_user = packed[0].user_rows[0].len();
+
+    c.bench_function("table6/pack_one_sample", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % samples.len();
+            black_box(pack_sample(&feats, &samples[i], &intervals, 15))
+        })
+    });
+
+    c.bench_function("table6/retina_s_train_1_epoch_40tweets", |b| {
+        b.iter_batched(
+            || Retina::new(d_user, RetinaConfig::static_default()),
+            |mut m| {
+                train_retina(
+                    &mut m,
+                    &packed,
+                    &TrainConfig {
+                        epochs: 1,
+                        ..TrainConfig::static_default()
+                    },
+                );
+                black_box(m)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("table6/retina_d_train_1_epoch_40tweets", |b| {
+        b.iter_batched(
+            || {
+                Retina::new(
+                    d_user,
+                    RetinaConfig {
+                        mode: RetinaMode::Dynamic,
+                        ..RetinaConfig::static_default()
+                    },
+                )
+            },
+            |mut m| {
+                train_retina(
+                    &mut m,
+                    &packed,
+                    &TrainConfig {
+                        epochs: 1,
+                        ..TrainConfig::dynamic_default()
+                    },
+                );
+                black_box(m)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut model = Retina::new(d_user, RetinaConfig::static_default());
+    train_retina(
+        &mut model,
+        &packed,
+        &TrainConfig {
+            epochs: 1,
+            ..TrainConfig::static_default()
+        },
+    );
+    c.bench_function("table6/retina_s_predict_one_tweet", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % packed.len();
+            black_box(model.predict_proba(&packed[i]))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_retina
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates **Figure 5**: HITS@k for RETINA-D/S and TopoLSTM at
+//! k ∈ {1, 5, 10, 20, 50, 100}.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_fig5 [-- --scale 0.1]
+//! ```
+
+use bench::{build_context, header, parse_options};
+use retina_core::experiments::retweet_suite::{run as run_suite, SuiteConfig, SuiteModels};
+use retina_core::experiments::fig5;
+
+fn main() {
+    let opts = parse_options();
+    let ctx = build_context(&opts);
+    let cfg = if opts.smoke {
+        SuiteConfig::smoke()
+    } else {
+        SuiteConfig::default()
+    };
+    header("Figure 5 — HITS@k curves");
+    let suite = run_suite(&ctx, &cfg, SuiteModels::figures());
+    let rows = fig5::run(&suite);
+    for r in &rows {
+        println!("{r}");
+    }
+    println!(
+        "\npaper shape (monotone curves, convergence at large k): {}",
+        fig5::shape_holds(&rows)
+    );
+}

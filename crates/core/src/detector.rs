@@ -1,0 +1,355 @@
+//! Hate detectors and the two-tier labelling pipeline (Section VI-B).
+//!
+//! The paper manually annotated 17,877 tweets (gold), trained **three**
+//! detector designs — Davidson et al. (TF-IDF + engineered features +
+//! logistic regression), Waseem & Hovy (character n-grams + logistic
+//! regression) and Badjatiya et al. (neural) — picked the best (Davidson:
+//! AUC 0.85 / macro-F1 0.59 after fine-tuning) and used it to
+//! machine-annotate the rest (silver). It also reports that the
+//! *pretrained* Davidson model (no fine-tuning on the new data) degrades
+//! to AUC 0.79 / macro-F1 0.48 — the newer-context gap.
+//!
+//! This module reproduces all three designs and the pipeline. Silver
+//! labels feed the *features* of the prediction models; gold labels are
+//! the *evaluation* targets. The pretrained-degradation analogue is
+//! [`temporal_transfer`]: train on the earliest 40% of the window, test
+//! on the latest 30% (new hashtags have emerged in between).
+
+use crate::features::TextModels;
+use ml::{Classifier, ClassificationReport, LogisticRegression, LogisticRegressionConfig};
+use nn::{Activation, ActivationKind, Adam, Dense, Matrix, Optimizer, WeightedBce};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use socialsim::Dataset;
+use text::{TfIdfConfig, TfIdfVectorizer};
+
+/// The three detector designs compared in Section VI-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// Davidson et al.: word TF-IDF + lexicon features + LogReg.
+    Davidson,
+    /// Waseem & Hovy: character 2–4-gram TF-IDF + LogReg.
+    WaseemHovy,
+    /// Badjatiya et al.: a small neural network over TF-IDF features.
+    Neural,
+}
+
+impl DetectorKind {
+    /// All three designs.
+    pub const ALL: [DetectorKind; 3] = [
+        DetectorKind::Davidson,
+        DetectorKind::WaseemHovy,
+        DetectorKind::Neural,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DetectorKind::Davidson => "Davidson",
+            DetectorKind::WaseemHovy => "Waseem-Hovy",
+            DetectorKind::Neural => "Neural (Badjatiya)",
+        }
+    }
+}
+
+enum DetectorModel {
+    LogReg(LogisticRegression),
+    Mlp { l1: Dense, act: Activation, l2: Dense },
+}
+
+/// A fitted hate detector plus its evaluation on held-out gold data.
+pub struct HateDetector {
+    kind: DetectorKind,
+    model: DetectorModel,
+    /// Character-ngram vectorizer (Waseem-Hovy only).
+    char_tfidf: Option<TfIdfVectorizer>,
+    /// Performance on the held-out gold slice.
+    pub report: ClassificationReport,
+}
+
+impl HateDetector {
+    /// Train the Davidson design (the paper's pick) on a `gold_frac`
+    /// random slice of the corpus.
+    pub fn train(data: &Dataset, models: &TextModels, gold_frac: f64, seed: u64) -> Self {
+        Self::train_kind(data, models, DetectorKind::Davidson, gold_frac, seed)
+    }
+
+    /// Train any of the three designs.
+    pub fn train_kind(
+        data: &Dataset,
+        models: &TextModels,
+        kind: DetectorKind,
+        gold_frac: f64,
+        seed: u64,
+    ) -> Self {
+        let mut ids: Vec<usize> = (0..data.tweets().len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        ids.shuffle(&mut rng);
+        let n_gold = ((ids.len() as f64) * gold_frac).round() as usize;
+        let gold = &ids[..n_gold.max(10).min(ids.len())];
+        let n_train = gold.len() * 4 / 5;
+        Self::train_on_split(data, models, kind, &gold[..n_train], &gold[n_train..], seed)
+    }
+
+    /// Train on explicit train/test tweet-id splits (used by
+    /// [`temporal_transfer`]).
+    pub fn train_on_split(
+        data: &Dataset,
+        models: &TextModels,
+        kind: DetectorKind,
+        train_ids: &[usize],
+        test_ids: &[usize],
+        seed: u64,
+    ) -> Self {
+        // Waseem-Hovy needs its own char-ngram vectorizer fitted on the
+        // training tweets.
+        let char_tfidf = (kind == DetectorKind::WaseemHovy).then(|| {
+            let docs: Vec<Vec<String>> = train_ids
+                .iter()
+                .map(|&t| text::char_ngrams(&data.tweets()[t].tokens, 2, 4))
+                .collect();
+            TfIdfVectorizer::fit_tokenized(
+                &docs,
+                TfIdfConfig {
+                    top_k: Some(400),
+                    min_df: 2,
+                    use_bigrams: false,
+                    l2_normalize: true,
+                    ..Default::default()
+                },
+            )
+        });
+
+        let featurize = |tid: usize| -> Vec<f64> {
+            Self::features_for(data, models, char_tfidf.as_ref(), kind, tid)
+        };
+        let x_train: Vec<Vec<f64>> = train_ids.iter().map(|&t| featurize(t)).collect();
+        let y_train: Vec<u8> = train_ids
+            .iter()
+            .map(|&t| u8::from(data.tweets()[t].hate))
+            .collect();
+        let x_test: Vec<Vec<f64>> = test_ids.iter().map(|&t| featurize(t)).collect();
+        let y_test: Vec<u8> = test_ids
+            .iter()
+            .map(|&t| u8::from(data.tweets()[t].hate))
+            .collect();
+
+        let model = match kind {
+            DetectorKind::Davidson | DetectorKind::WaseemHovy => {
+                let mut m = LogisticRegression::new(LogisticRegressionConfig {
+                    balanced: true,
+                    epochs: 30,
+                    ..Default::default()
+                });
+                m.fit(&x_train, &y_train);
+                DetectorModel::LogReg(m)
+            }
+            DetectorKind::Neural => {
+                let d = x_train[0].len();
+                let mut l1 = Dense::new(d, 32, seed);
+                let mut act = Activation::new(ActivationKind::Relu);
+                let mut l2 = Dense::new(32, 1, seed ^ 1);
+                let mut opt = Adam::new(2e-3);
+                let pos = y_train.iter().filter(|&&l| l == 1).count();
+                let bce = WeightedBce::from_counts(y_train.len(), pos, 1.5);
+                let x = Matrix::from_rows(&x_train);
+                let t = Matrix::from_fn(y_train.len(), 1, |r, _| y_train[r] as f64);
+                for _ in 0..60 {
+                    let h = act.forward(&l1.forward(&x));
+                    let z = l2.forward(&h);
+                    let g = bce.grad(&z, &t);
+                    let gh = l2.backward(&g);
+                    let gp = act.backward(&gh);
+                    let _ = l1.backward(&gp);
+                    let mut params = l1.params_mut();
+                    params.extend(l2.params_mut());
+                    opt.step(&mut params);
+                }
+                DetectorModel::Mlp { l1, act, l2 }
+            }
+        };
+
+        let mut det = Self {
+            kind,
+            model,
+            char_tfidf,
+            report: ClassificationReport {
+                macro_f1: 0.0,
+                accuracy: 0.0,
+                auc: 0.5,
+            },
+        };
+        let scores: Vec<f64> = x_test.iter().map(|r| det.score_row(r)).collect();
+        det.report = ClassificationReport::from_scores(&y_test, &scores);
+        det
+    }
+
+    /// The design in use.
+    pub fn kind(&self) -> DetectorKind {
+        self.kind
+    }
+
+    fn features_for(
+        data: &Dataset,
+        models: &TextModels,
+        char_tfidf: Option<&TfIdfVectorizer>,
+        kind: DetectorKind,
+        tweet: usize,
+    ) -> Vec<f64> {
+        let toks = &data.tweets()[tweet].tokens;
+        match kind {
+            DetectorKind::Davidson | DetectorKind::Neural => {
+                let mut feats = toks.clone();
+                feats.extend(text::bigrams(toks));
+                let mut v = models.tweet_tfidf.transform_tokens(&feats);
+                let lex = models.lexicon.count_vector(toks);
+                v.push(lex.iter().sum::<u32>() as f64);
+                v.extend(lex.into_iter().map(|c| c as f64));
+                v
+            }
+            DetectorKind::WaseemHovy => {
+                let grams = text::char_ngrams(toks, 2, 4);
+                char_tfidf
+                    .expect("char vectorizer missing")
+                    .transform_tokens(&grams)
+            }
+        }
+    }
+
+    fn score_row(&self, row: &[f64]) -> f64 {
+        match &self.model {
+            DetectorModel::LogReg(m) => m.predict_proba(row),
+            DetectorModel::Mlp { l1, act, l2 } => {
+                let x = Matrix::from_rows(&[row.to_vec()]);
+                let h = act.forward_inference(&l1.forward_inference(&x));
+                let z = l2.forward_inference(&h);
+                1.0 / (1.0 + (-z.get(0, 0)).exp())
+            }
+        }
+    }
+
+    /// Probability that one tweet is hateful.
+    pub fn predict_proba(&self, data: &Dataset, models: &TextModels, tweet: usize) -> f64 {
+        let row = Self::features_for(data, models, self.char_tfidf.as_ref(), self.kind, tweet);
+        self.score_row(&row)
+    }
+
+    /// Machine-annotate the whole corpus (silver labels, Section VI-B).
+    pub fn silver_labels(&self, data: &Dataset, models: &TextModels) -> Vec<bool> {
+        (0..data.tweets().len())
+            .map(|t| self.predict_proba(data, models, t) >= 0.5)
+            .collect()
+    }
+}
+
+/// The pretrained-degradation analogue: train each design on the earliest
+/// 40% of the window (old hashtags), evaluate on the latest 30% (new
+/// hashtags have peaked in between). Returns (in-sample-era report,
+/// transfer report) per design.
+pub fn temporal_transfer(
+    data: &Dataset,
+    models: &TextModels,
+    kind: DetectorKind,
+    seed: u64,
+) -> (ClassificationReport, ClassificationReport) {
+    let span = data.config().span_hours();
+    let early: Vec<usize> = data
+        .tweets()
+        .iter()
+        .filter(|t| t.time_hours < span * 0.4)
+        .map(|t| t.id)
+        .collect();
+    let late: Vec<usize> = data
+        .tweets()
+        .iter()
+        .filter(|t| t.time_hours > span * 0.7)
+        .map(|t| t.id)
+        .collect();
+    let n_train = early.len() * 4 / 5;
+    // Fine-tuned analogue: train and test inside the early era.
+    let in_era = HateDetector::train_on_split(
+        data,
+        models,
+        kind,
+        &early[..n_train],
+        &early[n_train..],
+        seed,
+    )
+    .report;
+    // Pretrained analogue: same training era, evaluated on the late era.
+    let transfer =
+        HateDetector::train_on_split(data, models, kind, &early[..n_train], &late, seed).report;
+    (in_era, transfer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialsim::SimConfig;
+
+    fn setup() -> (Dataset, TextModels) {
+        let data = Dataset::generate(SimConfig::tiny());
+        let models = TextModels::build(&data, 2);
+        (data, models)
+    }
+
+    #[test]
+    fn davidson_beats_chance_on_gold() {
+        let (data, models) = setup();
+        let det = HateDetector::train(&data, &models, 0.6, 0);
+        assert!(
+            det.report.auc > 0.8,
+            "detector AUC {} too low (synthetic hate is lexicon-marked)",
+            det.report.auc
+        );
+    }
+
+    #[test]
+    fn all_three_designs_train_and_score() {
+        let (data, models) = setup();
+        for kind in DetectorKind::ALL {
+            let det = HateDetector::train_kind(&data, &models, kind, 0.5, 1);
+            assert!(
+                det.report.auc > 0.6,
+                "{}: AUC {}",
+                kind.name(),
+                det.report.auc
+            );
+            let p = det.predict_proba(&data, &models, 0);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn silver_labels_cover_corpus_and_correlate_with_gold() {
+        let (data, models) = setup();
+        let det = HateDetector::train(&data, &models, 0.6, 0);
+        let silver = det.silver_labels(&data, &models);
+        assert_eq!(silver.len(), data.tweets().len());
+        let agree = silver
+            .iter()
+            .zip(data.tweets())
+            .filter(|(&s, t)| s == t.hate)
+            .count() as f64
+            / silver.len() as f64;
+        assert!(agree > 0.9, "silver/gold agreement {agree}");
+    }
+
+    #[test]
+    fn silver_positive_rate_plausible() {
+        let (data, models) = setup();
+        let det = HateDetector::train(&data, &models, 0.6, 0);
+        let silver = det.silver_labels(&data, &models);
+        let rate = silver.iter().filter(|&&s| s).count() as f64 / silver.len() as f64;
+        assert!(rate < 0.3, "silver positive rate {rate} implausibly high");
+    }
+
+    #[test]
+    fn temporal_transfer_runs() {
+        let (data, models) = setup();
+        let (in_era, transfer) = temporal_transfer(&data, &models, DetectorKind::Davidson, 0);
+        assert!(in_era.auc.is_finite());
+        assert!(transfer.auc.is_finite());
+    }
+}

@@ -1,0 +1,237 @@
+//! RETINA design-choice ablations reported in the paper's prose:
+//!
+//! * **News-window size** (Section VIII-B: "an ablation on news size gave
+//!   best results at 60 for both static and dynamic models").
+//! * **Recurrent cell** (Section V-B: "performance degraded with simple
+//!   RNN and no gain with LSTM").
+
+use super::ExperimentContext;
+use crate::features::RetweetFeatures;
+use crate::retina::{pack_sample, Retina, RetinaConfig, RetinaMode, RecurrentKind};
+use crate::trainer::{train_retina, TrainConfig};
+use diffusion::{split_samples, CascadeSample, RetweetTask};
+use ml::metrics::ClassificationReport;
+
+/// One row of the news-window sweep.
+#[derive(Debug, Clone)]
+pub struct NewsSweepRow {
+    pub news_k: usize,
+    pub static_f1: f64,
+    pub static_auc: f64,
+}
+
+impl std::fmt::Display for NewsSweepRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "news window {:3} | RETINA-S macro-F1 {:.3} | AUC {:.3}",
+            self.news_k, self.static_f1, self.static_auc
+        )
+    }
+}
+
+/// One row of the recurrent-cell sweep.
+#[derive(Debug, Clone)]
+pub struct RecurrentSweepRow {
+    pub cell: RecurrentKind,
+    pub dynamic_f1: f64,
+    pub dynamic_auc: f64,
+}
+
+impl std::fmt::Display for RecurrentSweepRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:9?} | RETINA-D macro-F1 {:.3} | AUC {:.3}",
+            self.cell, self.dynamic_f1, self.dynamic_auc
+        )
+    }
+}
+
+/// Shared sweep configuration.
+#[derive(Debug, Clone)]
+pub struct AblationConfig {
+    pub max_candidates: usize,
+    pub min_news: usize,
+    pub epochs: usize,
+    pub seed: u64,
+}
+
+impl Default for AblationConfig {
+    fn default() -> Self {
+        Self {
+            max_candidates: 40,
+            min_news: 60,
+            epochs: 3,
+            seed: 0,
+        }
+    }
+}
+
+fn build_split(
+    ctx: &ExperimentContext,
+    cfg: &AblationConfig,
+) -> (Vec<CascadeSample>, Vec<CascadeSample>) {
+    let samples = RetweetTask {
+        min_retweets: 1,
+        min_news: cfg.min_news,
+        max_candidates: cfg.max_candidates,
+        include_non_followers: false,
+        seed: cfg.seed,
+    }
+    .build(&ctx.data);
+    split_samples(samples, 0.8, cfg.seed ^ 0x5EED)
+}
+
+fn eval_static(
+    ctx: &ExperimentContext,
+    cfg: &AblationConfig,
+    train: &[CascadeSample],
+    test: &[CascadeSample],
+    news_k: usize,
+) -> ClassificationReport {
+    let feats = RetweetFeatures::new(&ctx.data, &ctx.models, &ctx.silver);
+    let intervals = crate::retina::default_intervals();
+    let packed_train: Vec<_> = train
+        .iter()
+        .map(|s| pack_sample(&feats, s, &intervals, news_k))
+        .collect();
+    let packed_test: Vec<_> = test
+        .iter()
+        .map(|s| pack_sample(&feats, s, &intervals, news_k))
+        .collect();
+    let d_user = packed_train[0].user_rows[0].len();
+    let mut model = Retina::new(
+        d_user,
+        RetinaConfig {
+            news_k,
+            seed: cfg.seed,
+            ..RetinaConfig::static_default()
+        },
+    );
+    train_retina(
+        &mut model,
+        &packed_train,
+        &TrainConfig {
+            epochs: cfg.epochs,
+            ..TrainConfig::static_default()
+        },
+    );
+    let mut ys = Vec::new();
+    let mut ss = Vec::new();
+    for p in &packed_test {
+        ss.extend(model.predict_proba(p));
+        ys.extend_from_slice(&p.labels);
+    }
+    ClassificationReport::from_scores(&ys, &ss)
+}
+
+/// Sweep the number of attended news items (paper: best at 60).
+pub fn news_sweep(
+    ctx: &ExperimentContext,
+    cfg: &AblationConfig,
+    windows: &[usize],
+) -> Vec<NewsSweepRow> {
+    let (train, test) = build_split(ctx, cfg);
+    windows
+        .iter()
+        .map(|&k| {
+            let rep = eval_static(ctx, cfg, &train, &test, k);
+            NewsSweepRow {
+                news_k: k,
+                static_f1: rep.macro_f1,
+                static_auc: rep.auc,
+            }
+        })
+        .collect()
+}
+
+/// Sweep the dynamic head's recurrent cell (paper: GRU ≥ LSTM > RNN).
+pub fn recurrent_sweep(ctx: &ExperimentContext, cfg: &AblationConfig) -> Vec<RecurrentSweepRow> {
+    let (train, test) = build_split(ctx, cfg);
+    let feats = RetweetFeatures::new(&ctx.data, &ctx.models, &ctx.silver);
+    let intervals = crate::retina::default_intervals();
+    let news_k = 30;
+    let packed_train: Vec<_> = train
+        .iter()
+        .map(|s| pack_sample(&feats, s, &intervals, news_k))
+        .collect();
+    let packed_test: Vec<_> = test
+        .iter()
+        .map(|s| pack_sample(&feats, s, &intervals, news_k))
+        .collect();
+    let d_user = packed_train[0].user_rows[0].len();
+
+    [RecurrentKind::Gru, RecurrentKind::Lstm, RecurrentKind::SimpleRnn]
+        .into_iter()
+        .map(|cell| {
+            let mut model = Retina::new(
+                d_user,
+                RetinaConfig {
+                    mode: RetinaMode::Dynamic,
+                    recurrent: cell,
+                    news_k,
+                    seed: cfg.seed,
+                    ..RetinaConfig::static_default()
+                },
+            );
+            train_retina(
+                &mut model,
+                &packed_train,
+                &TrainConfig {
+                    epochs: cfg.epochs,
+                    ..TrainConfig::dynamic_default()
+                },
+            );
+            let mut ys = Vec::new();
+            let mut ss = Vec::new();
+            for p in &packed_test {
+                let probs = model.predict_proba_dynamic(p);
+                for (r, row) in p.interval_labels.iter().enumerate() {
+                    for (t, &l) in row.iter().enumerate() {
+                        ys.push(l);
+                        ss.push(probs.get(r, t));
+                    }
+                }
+            }
+            let rep = ClassificationReport::from_scores(&ys, &ss);
+            RecurrentSweepRow {
+                cell,
+                dynamic_f1: rep.macro_f1,
+                dynamic_auc: rep.auc,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cfg() -> AblationConfig {
+        AblationConfig {
+            max_candidates: 20,
+            min_news: 15,
+            epochs: 1,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn news_sweep_runs() {
+        let ctx = ExperimentContext::build(ExperimentContext::smoke_config(), 2);
+        let rows = news_sweep(&ctx, &smoke_cfg(), &[5, 15]);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.static_f1));
+        }
+    }
+
+    #[test]
+    fn recurrent_sweep_covers_three_cells() {
+        let ctx = ExperimentContext::build(ExperimentContext::smoke_config(), 2);
+        let rows = recurrent_sweep(&ctx, &smoke_cfg());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].cell, RecurrentKind::Gru);
+    }
+}

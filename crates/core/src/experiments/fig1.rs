@@ -1,0 +1,138 @@
+//! Figure 1 — diffusion dynamics of hateful vs non-hate tweets:
+//! (a) average cumulative retweet-cascade growth over time,
+//! (b) average count of susceptible users over time.
+//!
+//! The paper's headline observations, which this experiment regenerates:
+//! hateful tweets gather *more* retweets, *faster* (early plateau), while
+//! creating *fewer* susceptible users (echo-chambers).
+
+use socialsim::cascade::{cascade_growth, susceptible_growth};
+use socialsim::Dataset;
+
+/// One time-offset point of the Fig. 1 curves.
+#[derive(Debug, Clone)]
+pub struct Fig1Point {
+    /// Hours after the root tweet.
+    pub offset_hours: f64,
+    /// Mean cumulative retweets, hateful roots.
+    pub retweets_hate: f64,
+    /// Mean cumulative retweets, non-hate roots.
+    pub retweets_nonhate: f64,
+    /// Mean susceptible users, hateful roots.
+    pub susceptible_hate: f64,
+    /// Mean susceptible users, non-hate roots.
+    pub susceptible_nonhate: f64,
+}
+
+impl std::fmt::Display for Fig1Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "t+{:6.1}h | RT hate {:7.2} vs non-hate {:7.2} | susceptible hate {:8.1} vs non-hate {:8.1}",
+            self.offset_hours,
+            self.retweets_hate,
+            self.retweets_nonhate,
+            self.susceptible_hate,
+            self.susceptible_nonhate
+        )
+    }
+}
+
+/// The default time grid (hours).
+pub fn default_offsets() -> Vec<f64> {
+    vec![0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 48.0, 96.0, 168.0, 336.0]
+}
+
+/// Compute the Fig. 1 curves over all root tweets with ≥1 retweet.
+pub fn run(data: &Dataset, offsets: &[f64]) -> Vec<Fig1Point> {
+    let graph = data.graph();
+    let mut hate_rt = vec![0.0; offsets.len()];
+    let mut clean_rt = vec![0.0; offsets.len()];
+    let mut hate_sus = vec![0.0; offsets.len()];
+    let mut clean_sus = vec![0.0; offsets.len()];
+    let mut n_hate = 0usize;
+    let mut n_clean = 0usize;
+
+    for t in data.root_tweets().filter(|t| !t.retweets.is_empty()) {
+        let growth = cascade_growth(&t.retweets, t.time_hours, offsets);
+        let sus = susceptible_growth(graph, t.user, &t.retweets, t.time_hours, offsets);
+        let (rt_acc, sus_acc, n) = if t.hate {
+            n_hate += 1;
+            (&mut hate_rt, &mut hate_sus, ())
+        } else {
+            n_clean += 1;
+            (&mut clean_rt, &mut clean_sus, ())
+        };
+        let _ = n;
+        for (i, (&g, &s)) in growth.iter().zip(&sus).enumerate() {
+            rt_acc[i] += g as f64;
+            sus_acc[i] += s as f64;
+        }
+    }
+
+    offsets
+        .iter()
+        .enumerate()
+        .map(|(i, &o)| Fig1Point {
+            offset_hours: o,
+            retweets_hate: hate_rt[i] / n_hate.max(1) as f64,
+            retweets_nonhate: clean_rt[i] / n_clean.max(1) as f64,
+            susceptible_hate: hate_sus[i] / n_hate.max(1) as f64,
+            susceptible_nonhate: clean_sus[i] / n_clean.max(1) as f64,
+        })
+        .collect()
+}
+
+/// The paper's two qualitative claims, as checkable booleans:
+/// (1) hateful cascades out-retweet non-hate ones at the horizon;
+/// (2) hateful roots expose fewer susceptible users at the horizon.
+pub fn shape_holds(points: &[Fig1Point]) -> (bool, bool) {
+    let last = points.last().expect("non-empty grid");
+    (
+        last.retweets_hate > last.retweets_nonhate,
+        last.susceptible_hate < last.susceptible_nonhate,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialsim::SimConfig;
+
+    fn data() -> Dataset {
+        // Figs 1-3 need only the corpus (no text models), so tests can
+        // afford a bigger sample for stable statistics.
+        Dataset::generate(SimConfig {
+            tweet_scale: 0.12,
+            n_users: 800,
+            ..SimConfig::tiny()
+        })
+    }
+
+    #[test]
+    fn curves_monotone_and_shape_holds() {
+        let pts = run(&data(), &default_offsets());
+        assert_eq!(pts.len(), default_offsets().len());
+        for w in pts.windows(2) {
+            assert!(w[1].retweets_hate >= w[0].retweets_hate - 1e-9);
+            assert!(w[1].retweets_nonhate >= w[0].retweets_nonhate - 1e-9);
+        }
+        let (more_rts, fewer_sus) = shape_holds(&pts);
+        assert!(more_rts, "hateful cascades should out-retweet non-hate");
+        assert!(fewer_sus, "hateful cascades should expose fewer susceptibles");
+    }
+
+    #[test]
+    fn hateful_growth_front_loaded() {
+        // Early-fraction of final mass should be higher for hate.
+        let pts = run(&data(), &default_offsets());
+        let early = &pts[3]; // 4h
+        let last = pts.last().unwrap();
+        let frac_hate = early.retweets_hate / last.retweets_hate.max(1e-9);
+        let frac_clean = early.retweets_nonhate / last.retweets_nonhate.max(1e-9);
+        assert!(
+            frac_hate > frac_clean,
+            "hate should acquire mass earlier: {frac_hate} vs {frac_clean}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Figure 2 — distribution of hateful vs non-hate tweets (scale 0..1)
+//! per hashtag: hate is strongly topic-dependent, and even same-theme
+//! hashtags differ in hate intensity.
+
+use socialsim::Dataset;
+
+/// One bar of Fig. 2.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    pub code: &'static str,
+    pub hashtag: &'static str,
+    /// Fraction of hateful tweets (0..1), gold labels.
+    pub hate_ratio: f64,
+    /// Same, paper-reported.
+    pub paper_ratio: f64,
+}
+
+impl std::fmt::Display for Fig2Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let bar_len = (self.hate_ratio * 200.0).round() as usize;
+        write!(
+            f,
+            "{:26} {:5.3} (paper {:5.3}) |{}",
+            self.hashtag,
+            self.hate_ratio,
+            self.paper_ratio,
+            "#".repeat(bar_len.min(40))
+        )
+    }
+}
+
+/// Compute the per-hashtag hate ratios, sorted descending.
+pub fn run(data: &Dataset) -> Vec<Fig2Row> {
+    let mut rows: Vec<Fig2Row> = data
+        .hashtag_stats()
+        .into_iter()
+        .map(|s| {
+            let t = data.roster().get(s.topic);
+            Fig2Row {
+                code: t.code,
+                hashtag: t.hashtag,
+                hate_ratio: s.pct_hate / 100.0,
+                paper_ratio: t.pct_hate / 100.0,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.hate_ratio.partial_cmp(&a.hate_ratio).unwrap());
+    rows
+}
+
+/// Spearman rank correlation between measured and paper hate ratios — a
+/// single fidelity number for EXPERIMENTS.md.
+pub fn rank_correlation(rows: &[Fig2Row]) -> f64 {
+    let n = rows.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let rank = |vals: Vec<f64>| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..vals.len()).collect();
+        idx.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap());
+        let mut r = vec![0.0; vals.len()];
+        for (pos, &i) in idx.iter().enumerate() {
+            r[i] = pos as f64;
+        }
+        r
+    };
+    let ra = rank(rows.iter().map(|r| r.hate_ratio).collect());
+    let rb = rank(rows.iter().map(|r| r.paper_ratio).collect());
+    let d2: f64 = ra.iter().zip(&rb).map(|(a, b)| (a - b) * (a - b)).sum();
+    1.0 - 6.0 * d2 / (n as f64 * (n as f64 * n as f64 - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialsim::SimConfig;
+
+    fn data() -> Dataset {
+        Dataset::generate(SimConfig {
+            tweet_scale: 0.12,
+            n_users: 800,
+            ..SimConfig::tiny()
+        })
+    }
+
+    #[test]
+    fn ratios_track_paper_targets() {
+        let rows = run(&data());
+        assert_eq!(rows.len(), 34);
+        let rho = rank_correlation(&rows);
+        assert!(
+            rho > 0.5,
+            "measured hashtag hate ordering should track Table II (rho = {rho})"
+        );
+    }
+
+    #[test]
+    fn sorted_descending() {
+        let rows = run(&data());
+        for w in rows.windows(2) {
+            assert!(w[0].hate_ratio >= w[1].hate_ratio);
+        }
+    }
+}

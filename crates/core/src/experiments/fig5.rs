@@ -1,0 +1,82 @@
+//! Figure 5 — HITS@k of RETINA-D, RETINA-S and TopoLSTM for
+//! k ∈ {1, 5, 10, 20, 50, 100}.
+
+use super::retweet_suite::RetweetSuite;
+use ml::metrics::{hits_at_k, rank_by_score};
+
+/// One curve point.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    pub k: usize,
+    pub retina_d: f64,
+    pub retina_s: f64,
+    pub topolstm: f64,
+}
+
+impl std::fmt::Display for Fig5Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HITS@{:<3} | RETINA-D {:.3} | RETINA-S {:.3} | TopoLSTM {:.3}",
+            self.k, self.retina_d, self.retina_s, self.topolstm
+        )
+    }
+}
+
+/// The paper's k grid.
+pub const K_GRID: [usize; 6] = [1, 5, 10, 20, 50, 100];
+
+/// Compute the curves from a finished suite (requires RETINA + TopoLSTM).
+pub fn run(suite: &RetweetSuite) -> Vec<Fig5Row> {
+    let ranked = |name: &str| -> Vec<Vec<bool>> {
+        let r = suite.result(name).expect("model missing from suite");
+        r.scores
+            .iter()
+            .zip(&suite.test)
+            .map(|(s, t)| rank_by_score(s, &t.labels))
+            .collect()
+    };
+    let d = ranked("RETINA-D");
+    let s = ranked("RETINA-S");
+    let topo = ranked("TopoLSTM");
+    K_GRID
+        .iter()
+        .map(|&k| Fig5Row {
+            k,
+            retina_d: hits_at_k(&d, k),
+            retina_s: hits_at_k(&s, k),
+            topolstm: hits_at_k(&topo, k),
+        })
+        .collect()
+}
+
+/// The paper's qualitative claims: curves are non-decreasing in k and
+/// converge at large k.
+pub fn shape_holds(rows: &[Fig5Row]) -> bool {
+    let mono = rows.windows(2).all(|w| {
+        w[1].retina_d >= w[0].retina_d - 1e-9
+            && w[1].retina_s >= w[0].retina_s - 1e-9
+            && w[1].topolstm >= w[0].topolstm - 1e-9
+    });
+    let last = rows.last().unwrap();
+    let converged = (last.retina_d - last.topolstm).abs() < 0.25;
+    mono && converged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::retweet_suite::{run as run_suite, SuiteConfig, SuiteModels};
+    use super::super::ExperimentContext;
+    use super::*;
+
+    #[test]
+    fn curves_monotone_in_k() {
+        let ctx = ExperimentContext::build(ExperimentContext::smoke_config(), 2);
+        let suite = run_suite(&ctx, &SuiteConfig::smoke(), SuiteModels::figures());
+        let rows = run(&suite);
+        assert_eq!(rows.len(), 6);
+        for w in rows.windows(2) {
+            assert!(w[1].retina_d >= w[0].retina_d - 1e-9);
+        }
+    }
+}

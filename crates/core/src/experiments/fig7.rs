@@ -1,0 +1,145 @@
+//! Figure 7 — RETINA performance (static and dynamic) as a function of
+//! the user-history size: "the performance ... increases by varying
+//! history size from 10 to 30 tweets. Afterward, it either drops or
+//! remains the same."
+
+use super::ExperimentContext;
+use crate::features::RetweetFeatures;
+use crate::retina::{pack_sample, Retina, RetinaConfig, RetinaMode};
+use crate::trainer::{train_retina, TrainConfig};
+use diffusion::{split_samples, RetweetTask};
+use ml::metrics::ClassificationReport;
+
+/// One bar pair of Fig. 7.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    pub history_len: usize,
+    pub static_f1: f64,
+    pub dynamic_f1: f64,
+}
+
+impl std::fmt::Display for Fig7Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "history {:2} | RETINA-S macro-F1 {:.3} | RETINA-D macro-F1 {:.3}",
+            self.history_len, self.static_f1, self.dynamic_f1
+        )
+    }
+}
+
+/// Sweep configuration (smaller than the Table VI run: the sweep retrains
+/// RETINA twice per history size).
+#[derive(Debug, Clone)]
+pub struct Fig7Config {
+    pub history_sizes: Vec<usize>,
+    pub max_candidates: usize,
+    pub min_news: usize,
+    pub news_k: usize,
+    pub epochs: usize,
+    pub seed: u64,
+}
+
+impl Default for Fig7Config {
+    fn default() -> Self {
+        Self {
+            history_sizes: vec![5, 10, 20, 30, 40, 50],
+            max_candidates: 40,
+            min_news: 60,
+            news_k: 30,
+            epochs: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// Run the history-size sweep.
+pub fn run(ctx: &ExperimentContext, cfg: &Fig7Config) -> Vec<Fig7Row> {
+    let task = RetweetTask {
+        min_retweets: 1,
+        min_news: cfg.min_news,
+        max_candidates: cfg.max_candidates,
+        include_non_followers: false,
+        seed: cfg.seed,
+    };
+    let samples = task.build(&ctx.data);
+    let (train, test) = split_samples(samples, 0.8, cfg.seed ^ 0x5EED);
+    let intervals = crate::retina::default_intervals();
+
+    cfg.history_sizes
+        .iter()
+        .map(|&hlen| {
+            let mut feats = RetweetFeatures::new(&ctx.data, &ctx.models, &ctx.silver);
+            feats.set_history_len(hlen);
+            let packed_train: Vec<_> = train
+                .iter()
+                .map(|s| pack_sample(&feats, s, &intervals, cfg.news_k))
+                .collect();
+            let packed_test: Vec<_> = test
+                .iter()
+                .map(|s| pack_sample(&feats, s, &intervals, cfg.news_k))
+                .collect();
+            let d_user = packed_train[0].user_rows[0].len();
+
+            let f1_of = |mode: RetinaMode| -> f64 {
+                let rcfg = RetinaConfig {
+                    mode,
+                    seed: cfg.seed,
+                    news_k: cfg.news_k,
+                    ..RetinaConfig::static_default()
+                };
+                let mut model = Retina::new(d_user, rcfg);
+                let tcfg = match mode {
+                    RetinaMode::Static => TrainConfig {
+                        epochs: cfg.epochs,
+                        ..TrainConfig::static_default()
+                    },
+                    RetinaMode::Dynamic => TrainConfig {
+                        epochs: cfg.epochs,
+                        ..TrainConfig::dynamic_default()
+                    },
+                };
+                train_retina(&mut model, &packed_train, &tcfg);
+                let mut ys = Vec::new();
+                let mut ss = Vec::new();
+                for p in &packed_test {
+                    let probs = model.predict_proba(p);
+                    ss.extend(probs);
+                    ys.extend_from_slice(&p.labels);
+                }
+                ClassificationReport::from_scores(&ys, &ss).macro_f1
+            };
+
+            Fig7Row {
+                history_len: hlen,
+                static_f1: f1_of(RetinaMode::Static),
+                dynamic_f1: f1_of(RetinaMode::Dynamic),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_requested_sizes() {
+        let ctx = ExperimentContext::build(ExperimentContext::smoke_config(), 2);
+        let cfg = Fig7Config {
+            history_sizes: vec![10, 30],
+            max_candidates: 20,
+            min_news: 15,
+            news_k: 10,
+            epochs: 1,
+            seed: 0,
+        };
+        let rows = run(&ctx, &cfg);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].history_len, 10);
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.static_f1));
+            assert!((0.0..=1.0).contains(&r.dynamic_f1));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Table II — dataset statistics per hashtag (tweets, average retweets,
+//! unique tweeting users, unique engaged users, % hateful).
+
+use socialsim::{Dataset, HashtagStats};
+
+/// One printable row of Table II, with the paper's target values for
+/// side-by-side comparison.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    pub stats: HashtagStats,
+    pub paper_tweets: usize,
+    pub paper_avg_rt: f64,
+    pub paper_pct_hate: f64,
+}
+
+impl std::fmt::Display for Table2Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:8} | tweets {:5} (paper {:5}) | avgRT {:6.2} (paper {:6.2}) | users {:5} | users-all {:6} | %hate {:5.2} (paper {:5.2})",
+            self.stats.code,
+            self.stats.tweets,
+            self.paper_tweets,
+            self.stats.avg_retweets,
+            self.paper_avg_rt,
+            self.stats.users,
+            self.stats.users_all,
+            self.stats.pct_hate,
+            self.paper_pct_hate,
+        )
+    }
+}
+
+/// Compute all Table II rows.
+pub fn run(data: &Dataset) -> Vec<Table2Row> {
+    data
+        .hashtag_stats()
+        .into_iter()
+        .map(|stats| {
+            let t = data.roster().get(stats.topic);
+            Table2Row {
+                paper_tweets: t.paper_tweets,
+                paper_avg_rt: t.avg_retweets,
+                paper_pct_hate: t.pct_hate,
+                stats,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use socialsim::SimConfig;
+
+    #[test]
+    fn rows_cover_roster_and_display() {
+        let rows = run(&Dataset::generate(SimConfig::tiny()));
+        assert_eq!(rows.len(), 34);
+        let line = format!("{}", rows[0]);
+        assert!(line.contains("tweets"));
+    }
+}

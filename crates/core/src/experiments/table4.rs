@@ -1,0 +1,92 @@
+//! Table IV — hate-generation prediction: six classifiers × five
+//! feature/sampling treatments, each reporting macro-F1 / ACC / AUC.
+
+use super::ExperimentContext;
+use crate::features::HategenFeatures;
+use crate::hategen::{HategenPipeline, ModelKind, Processing};
+use ml::ClassificationReport;
+
+/// One cell of Table IV.
+#[derive(Debug, Clone)]
+pub struct Table4Cell {
+    pub model: ModelKind,
+    pub proc: Processing,
+    pub report: ClassificationReport,
+}
+
+impl std::fmt::Display for Table4Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:10} | {:6} | macro-F1 {:.3} | ACC {:.3} | AUC {:.3}",
+            self.model.name(),
+            self.proc.name(),
+            self.report.macro_f1,
+            self.report.accuracy,
+            self.report.auc
+        )
+    }
+}
+
+/// Run the full grid (or a subset of models for speed).
+pub fn run(
+    ctx: &ExperimentContext,
+    models: &[ModelKind],
+    procs: &[Processing],
+    min_news: usize,
+    seed: u64,
+) -> Vec<Table4Cell> {
+    let feats = HategenFeatures::new(&ctx.data, &ctx.models, &ctx.silver);
+    let samples = HategenPipeline::build_samples(&ctx.data, min_news);
+    let pipe = HategenPipeline::new(&feats, &samples, None, seed);
+    let mut out = Vec::with_capacity(models.len() * procs.len());
+    for &m in models {
+        for &p in procs {
+            let report = pipe.run_cell(m, p);
+            out.push(Table4Cell {
+                model: m,
+                proc: p,
+                report,
+            });
+        }
+    }
+    out
+}
+
+/// The cell with the best macro-F1 (the paper's: Dec-Tree + DS at 0.65).
+pub fn best_cell(cells: &[Table4Cell]) -> &Table4Cell {
+    cells
+        .iter()
+        .max_by(|a, b| {
+            a.report
+                .macro_f1
+                .partial_cmp(&b.report.macro_f1)
+                .unwrap()
+        })
+        .expect("non-empty grid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_runs_and_sampling_helps() {
+        let ctx = ExperimentContext::build(ExperimentContext::smoke_config(), 2);
+        let cells = run(
+            &ctx,
+            &[ModelKind::DecTree, ModelKind::LogReg],
+            &[Processing::None, Processing::Downsample],
+            20,
+            0,
+        );
+        assert_eq!(cells.len(), 4);
+        // All cells produce valid, non-degenerate metrics; the
+        // paper-shape comparison (DS lifts macro-F1) is asserted at
+        // experiment scale in exp_table4, where positives are plentiful.
+        for c in &cells {
+            assert!((0.0..=1.0).contains(&c.report.macro_f1));
+            assert!(c.report.auc.is_finite(), "{}: AUC NaN", c.model.name());
+        }
+    }
+}

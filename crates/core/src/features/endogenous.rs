@@ -1,0 +1,42 @@
+//! Non-peer endogenous feature (Section IV-C): "a binary vector
+//! representing the top 50 trending hashtags for the day the tweet is
+//! posted." Our roster has 34 hashtags, so the vector is 34-dimensional
+//! with the top-10 trending set to 1 (documented scale-down).
+
+use socialsim::Dataset;
+
+/// Number of trending slots marked per day.
+pub const TRENDING_K: usize = 10;
+
+/// The binary trending vector at time `t0`.
+pub fn trending_vector(data: &Dataset, t0: f64) -> Vec<f64> {
+    let mut v = vec![0.0; data.roster().len()];
+    for tid in data.trending_at(t0, TRENDING_K) {
+        v[tid] = 1.0;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialsim::SimConfig;
+
+    #[test]
+    fn binary_with_k_ones() {
+        let data = Dataset::generate(SimConfig::tiny());
+        let v = trending_vector(&data, 24.0 * 20.0);
+        assert_eq!(v.len(), data.roster().len());
+        let ones = v.iter().filter(|&&x| x == 1.0).count();
+        assert_eq!(ones, TRENDING_K);
+        assert!(v.iter().all(|&x| x == 0.0 || x == 1.0));
+    }
+
+    #[test]
+    fn changes_over_time() {
+        let data = Dataset::generate(SimConfig::tiny());
+        let early = trending_vector(&data, 24.0 * 8.0);
+        let late = trending_vector(&data, 24.0 * 60.0);
+        assert_ne!(early, late);
+    }
+}

@@ -1,0 +1,115 @@
+//! Peer signals `S^P` (Section V-A): "shortest path length from u₀ to
+//! u_i in G, and number of times u_i has retweeted tweets by u₀."
+
+use socialsim::{Dataset, UserId};
+use std::collections::HashMap;
+
+/// Number of peer features.
+pub const PEER_DIM: usize = 2;
+
+/// Cap on the BFS when the candidate is not a direct follower.
+const SP_CAP: usize = 4;
+
+/// Precomputed retweet interactions: author → sorted (time, retweeter).
+pub struct PeerSignals<'a> {
+    data: &'a Dataset,
+    by_author: HashMap<UserId, Vec<(f64, u32)>>,
+}
+
+impl<'a> PeerSignals<'a> {
+    /// Build the interaction index from the corpus.
+    pub fn new(data: &'a Dataset) -> Self {
+        let mut by_author: HashMap<UserId, Vec<(f64, u32)>> = HashMap::new();
+        for t in data.root_tweets() {
+            let entry = by_author.entry(t.user).or_default();
+            for r in &t.retweets {
+                entry.push((r.time_hours, r.user));
+            }
+        }
+        for v in by_author.values_mut() {
+            v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        }
+        Self { data, by_author }
+    }
+
+    /// Number of times `candidate` retweeted `root` strictly before `t0`.
+    pub fn prior_retweets(&self, root: UserId, candidate: UserId, t0: f64) -> usize {
+        let Some(list) = self.by_author.get(&root) else {
+            return 0;
+        };
+        let end = list.partition_point(|&(t, _)| t < t0);
+        list[..end]
+            .iter()
+            .filter(|&&(_, u)| u as usize == candidate)
+            .count()
+    }
+
+    /// The two peer features: normalized shortest-path length (direct
+    /// follower ⇒ 1 hop; otherwise BFS capped at 4, unreachable ⇒ cap+1)
+    /// and prior-retweet count.
+    pub fn extract(&self, root: UserId, candidate: UserId, t0: f64) -> Vec<f64> {
+        let graph = self.data.graph();
+        let sp = if graph.followers(root).contains(&(candidate as u32)) {
+            1
+        } else {
+            graph
+                .shortest_path_len(root, candidate, SP_CAP)
+                .unwrap_or(SP_CAP + 1)
+        };
+        vec![
+            sp as f64 / (SP_CAP + 1) as f64,
+            (self.prior_retweets(root, candidate, t0) as f64).ln_1p(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialsim::SimConfig;
+
+    #[test]
+    fn follower_has_path_one() {
+        let data = Dataset::generate(SimConfig::tiny());
+        let peer = PeerSignals::new(&data);
+        let root = (0..data.users().len())
+            .find(|&u| !data.graph().followers(u).is_empty())
+            .unwrap();
+        let cand = data.graph().followers(root)[0] as usize;
+        let v = peer.extract(root, cand, 0.0);
+        assert_eq!(v.len(), PEER_DIM);
+        assert!((v[0] - 1.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prior_retweets_counts_only_before_t0() {
+        let data = Dataset::generate(SimConfig::tiny());
+        let peer = PeerSignals::new(&data);
+        // Find an actual (root, retweeter) interaction.
+        let t = data
+            .root_tweets()
+            .find(|t| !t.retweets.is_empty())
+            .unwrap();
+        let cand = t.retweets[0].user as usize;
+        let rt_time = t.retweets[0].time_hours;
+        let before = peer.prior_retweets(t.user, cand, rt_time - 1e-6);
+        let after = peer.prior_retweets(t.user, cand, rt_time + 1e-6);
+        assert!(after >= before + 1);
+    }
+
+    #[test]
+    fn strangers_get_capped_path() {
+        let data = Dataset::generate(SimConfig::tiny());
+        let peer = PeerSignals::new(&data);
+        // Find a pair with no short path.
+        'outer: for root in 0..20 {
+            for cand in 0..data.users().len() {
+                if data.graph().shortest_path_len(root, cand, 4).is_none() && root != cand {
+                    let v = peer.extract(root, cand, 0.0);
+                    assert_eq!(v[0], 1.0); // (cap+1)/(cap+1)
+                    break 'outer;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Topic (hashtag)-oriented feature (Section IV-B): "the average cosine
+//! similarity between the user's recent tweets and the word vector
+//! representation of the hashtag ... serves as the topical relatedness of
+//! the user towards the given hashtag."
+
+use super::TextModels;
+use socialsim::{Dataset, UserId};
+use text::similarity::cosine_dense;
+
+/// One-dimensional topical-relatedness feature.
+pub fn topic_relatedness(
+    data: &Dataset,
+    models: &TextModels,
+    user: UserId,
+    topic: usize,
+    t0: f64,
+) -> Vec<f64> {
+    let hashtag = data.roster().get(topic).hashtag;
+    let Some(tag_vec) = models.hashtag_vec(hashtag) else {
+        return vec![0.0];
+    };
+    let hist = data.history_before(user, t0, 30);
+    if hist.is_empty() {
+        return vec![0.0];
+    }
+    let mean = hist
+        .iter()
+        .map(|&tid| cosine_dense(models.tweet_vec(tid), tag_vec))
+        .sum::<f64>()
+        / hist.len() as f64;
+    vec![mean]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialsim::SimConfig;
+
+    #[test]
+    fn relatedness_is_bounded_scalar() {
+        let data = Dataset::generate(SimConfig::tiny());
+        let models = TextModels::build(&data, 3);
+        let t_end = data.config().span_hours();
+        for u in 0..10 {
+            let v = topic_relatedness(&data, &models, u, 0, t_end);
+            assert_eq!(v.len(), 1);
+            assert!(v[0].abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn frequent_tweeters_on_topic_more_related() {
+        let data = Dataset::generate(SimConfig::tiny());
+        let models = TextModels::build(&data, 10);
+        let t_end = data.config().span_hours();
+        // Compare mean relatedness of users who tweeted on the topic's
+        // theme against users who never did, for a popular topic.
+        let topic = data
+            .hashtag_stats()
+            .into_iter()
+            .max_by_key(|s| s.tweets)
+            .unwrap()
+            .topic;
+        let mut on_topic = Vec::new();
+        let mut off_topic = Vec::new();
+        for u in 0..data.users().len() {
+            let tweeted: usize = data
+                .timeline(u)
+                .iter()
+                .filter(|&&tid| data.tweets()[tid].topic == topic)
+                .count();
+            let rel = topic_relatedness(&data, &models, u, topic, t_end)[0];
+            if tweeted >= 3 {
+                on_topic.push(rel);
+            } else if tweeted == 0 && !data.timeline(u).is_empty() {
+                off_topic.push(rel);
+            }
+        }
+        if !on_topic.is_empty() && !off_topic.is_empty() {
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            assert!(
+                mean(&on_topic) > mean(&off_topic),
+                "on-topic users should be more related: {} vs {}",
+                mean(&on_topic),
+                mean(&off_topic)
+            );
+        }
+    }
+}

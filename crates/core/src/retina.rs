@@ -1,0 +1,620 @@
+//! RETINA — Retweeter Identifier Network with Exogenous Attention
+//! (Section V-B, Fig. 4).
+//!
+//! * **Static** (`RETINA-S`, Fig. 4b): each candidate's feature vector is
+//!   normalized, passed through a feed-forward layer, concatenated with
+//!   the exogenous attention output `X^{T,N}`, and a final feed-forward
+//!   layer with sigmoid produces `P^{u_i}`.
+//! * **Dynamic** (`RETINA-D`, Fig. 4c): the final feed-forward layer is
+//!   replaced by a GRU unrolled over successive time intervals, producing
+//!   `P_j^{u_i}` per interval. (LSTM / simple-RNN variants back the
+//!   paper's recurrent-cell ablation.)
+//! * The `†` ablation (Table VI) removes the exogenous attention branch.
+//!
+//! Training uses the class-weighted BCE of Eq. 6 with
+//! `w = λ(log C − log C⁺)`.
+
+use crate::features::RetweetFeatures;
+use diffusion::CascadeSample;
+use ml::StandardScaler;
+use nn::{
+    Activation, ActivationKind, Dense, ExogenousAttention, Gru, Lstm, Matrix, SimpleRnn,
+};
+use nn::{Param, WeightedBce};
+
+/// Static vs dynamic prediction (Section V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetinaMode {
+    /// All retweeters irrespective of time (`Δt = ∞`).
+    Static,
+    /// Per-interval prediction with a recurrent head.
+    Dynamic,
+}
+
+/// Recurrent cell for the dynamic head (paper: GRU best, LSTM no gain,
+/// RNN worse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecurrentKind {
+    Gru,
+    Lstm,
+    SimpleRnn,
+}
+
+/// RETINA hyperparameters (defaults follow Section VI-D).
+#[derive(Debug, Clone)]
+pub struct RetinaConfig {
+    pub mode: RetinaMode,
+    /// Include the exogenous attention branch (`false` = the † ablation).
+    pub use_exogenous: bool,
+    /// Hidden size for every layer (paper: 64).
+    pub hdim: usize,
+    /// News items attended per tweet (paper: best at 60).
+    pub news_k: usize,
+    /// Doc2Vec dimensionality of tweet/news inputs.
+    pub d2v_dim: usize,
+    /// Interval boundaries (hours after t0) for the dynamic mode.
+    pub intervals: Vec<f64>,
+    /// Recurrent cell kind for the dynamic mode.
+    pub recurrent: RecurrentKind,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RetinaConfig {
+    /// Paper-default static configuration.
+    pub fn static_default() -> Self {
+        Self {
+            mode: RetinaMode::Static,
+            use_exogenous: true,
+            hdim: 64,
+            news_k: 60,
+            d2v_dim: 50,
+            intervals: default_intervals(),
+            recurrent: RecurrentKind::Gru,
+            seed: 0,
+        }
+    }
+
+    /// Paper-default dynamic configuration.
+    pub fn dynamic_default() -> Self {
+        Self {
+            mode: RetinaMode::Dynamic,
+            ..Self::static_default()
+        }
+    }
+}
+
+/// Default dynamic-prediction interval boundaries in hours after the root
+/// tweet: the last interval is open-ended.
+pub fn default_intervals() -> Vec<f64> {
+    vec![1.0, 4.0, 12.0, 48.0, 168.0, f64::INFINITY]
+}
+
+enum RecurrentCell {
+    Gru(Gru),
+    Lstm(Lstm),
+    Rnn(SimpleRnn),
+}
+
+impl RecurrentCell {
+    fn forward(&mut self, xs: &[Matrix]) -> Vec<Matrix> {
+        match self {
+            RecurrentCell::Gru(c) => c.forward(xs),
+            RecurrentCell::Lstm(c) => c.forward(xs),
+            RecurrentCell::Rnn(c) => c.forward(xs),
+        }
+    }
+
+    fn backward(&mut self, grads: &[Matrix]) -> Vec<Matrix> {
+        match self {
+            RecurrentCell::Gru(c) => c.backward(grads),
+            RecurrentCell::Lstm(c) => c.backward(grads),
+            RecurrentCell::Rnn(c) => c.backward(grads),
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            RecurrentCell::Gru(c) => c.params_mut(),
+            RecurrentCell::Lstm(c) => c.params_mut(),
+            RecurrentCell::Rnn(c) => c.params_mut(),
+        }
+    }
+}
+
+/// A packed training/evaluation sample: everything RETINA needs for one
+/// root tweet, ready for batched tensor ops.
+#[derive(Debug, Clone)]
+pub struct PackedSample {
+    /// Per-candidate feature rows (`candidates × d_user`).
+    pub user_rows: Vec<Vec<f64>>,
+    /// Static labels per candidate.
+    pub labels: Vec<u8>,
+    /// Dynamic labels per candidate per interval.
+    pub interval_labels: Vec<Vec<u8>>,
+    /// Doc2Vec of the root tweet.
+    pub tweet_d2v: Vec<f64>,
+    /// Doc2Vec sequence of the attended news (`k × d2v`).
+    pub news_d2v: Vec<Vec<f64>>,
+    /// Gold hate label of the root (used by Figs. 6 and 8).
+    pub hateful: bool,
+    /// Root-tweet time.
+    pub t0: f64,
+    /// Retweet times per candidate (∞ = never).
+    pub retweet_times: Vec<f64>,
+}
+
+/// Pack a task sample into tensors using the feature extractor.
+pub fn pack_sample(
+    features: &RetweetFeatures<'_>,
+    sample: &CascadeSample,
+    intervals: &[f64],
+    news_k: usize,
+) -> PackedSample {
+    let user_rows: Vec<Vec<f64>> = sample
+        .candidates
+        .iter()
+        .map(|&c| features.retina_user_row(sample.tweet, sample.root_user, c as usize))
+        .collect();
+    let interval_labels: Vec<Vec<u8>> = sample
+        .retweet_times
+        .iter()
+        .map(|&t| interval_label_row(sample.t0, t, intervals))
+        .collect();
+    PackedSample {
+        user_rows,
+        labels: sample.labels.clone(),
+        interval_labels,
+        tweet_d2v: features.tweet_d2v(sample.tweet),
+        news_d2v: features.news_d2v_seq(sample.tweet, news_k),
+        hateful: sample.hateful,
+        t0: sample.t0,
+        retweet_times: sample.retweet_times.clone(),
+    }
+}
+
+/// Pack many samples in parallel across `n_threads` worker threads
+/// (crossbeam scoped threads; the extractor's caches are `parking_lot`
+/// mutexes, so one extractor is shared by all workers). Output order
+/// matches `samples`.
+pub fn pack_samples_parallel(
+    features: &RetweetFeatures<'_>,
+    samples: &[CascadeSample],
+    intervals: &[f64],
+    news_k: usize,
+    n_threads: usize,
+) -> Vec<PackedSample> {
+    let n_threads = n_threads.max(1);
+    if n_threads == 1 || samples.len() < 2 * n_threads {
+        return samples
+            .iter()
+            .map(|s| pack_sample(features, s, intervals, news_k))
+            .collect();
+    }
+    let mut out: Vec<Option<PackedSample>> = (0..samples.len()).map(|_| None).collect();
+    let chunk = samples.len().div_ceil(n_threads);
+    crossbeam::scope(|scope| {
+        for (slot_chunk, sample_chunk) in out.chunks_mut(chunk).zip(samples.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, s) in slot_chunk.iter_mut().zip(sample_chunk) {
+                    *slot = Some(pack_sample(features, s, intervals, news_k));
+                }
+            });
+        }
+    })
+    .expect("packing worker panicked");
+    out.into_iter().map(|p| p.expect("slot filled")).collect()
+}
+
+/// One-hot interval membership of a retweet time.
+fn interval_label_row(t0: f64, rt_time: f64, intervals: &[f64]) -> Vec<u8> {
+    let mut row = vec![0u8; intervals.len()];
+    if !rt_time.is_finite() {
+        return row;
+    }
+    let dt = rt_time - t0;
+    let mut lo = 0.0;
+    for (j, &hi) in intervals.iter().enumerate() {
+        if dt > lo && dt <= hi {
+            row[j] = 1;
+            break;
+        }
+        lo = hi;
+    }
+    row
+}
+
+/// The RETINA model.
+pub struct Retina {
+    /// Configuration.
+    pub config: RetinaConfig,
+    user_dense: Dense,
+    user_act: Activation,
+    attention: Option<ExogenousAttention>,
+    /// Static head.
+    out_dense: Option<Dense>,
+    /// Dynamic head.
+    recurrent: Option<RecurrentCell>,
+    step_dense: Option<Dense>,
+    scaler: Option<StandardScaler>,
+    /// Hidden states of the last dynamic forward (consumed by backward).
+    dyn_cache: Option<Vec<Matrix>>,
+}
+
+impl Retina {
+    /// Create an untrained model for `d_user`-dimensional candidate
+    /// features.
+    pub fn new(d_user: usize, config: RetinaConfig) -> Self {
+        let h = config.hdim;
+        let user_dense = Dense::new(d_user, h, config.seed);
+        let user_act = Activation::new(ActivationKind::Relu);
+        let attention = config.use_exogenous.then(|| {
+            ExogenousAttention::new(config.d2v_dim, config.d2v_dim, h, config.seed ^ 0xA77)
+        });
+        let merged = if config.use_exogenous { 2 * h } else { h };
+        let (out_dense, recurrent, step_dense) = match config.mode {
+            RetinaMode::Static => (
+                Some(Dense::new(merged, 1, config.seed ^ 0x51A)),
+                None,
+                None,
+            ),
+            RetinaMode::Dynamic => {
+                let cell = match config.recurrent {
+                    RecurrentKind::Gru => {
+                        RecurrentCell::Gru(Gru::new(merged, h, config.seed ^ 0xD11))
+                    }
+                    RecurrentKind::Lstm => {
+                        RecurrentCell::Lstm(Lstm::new(merged, h, config.seed ^ 0xD12))
+                    }
+                    RecurrentKind::SimpleRnn => {
+                        RecurrentCell::Rnn(SimpleRnn::new(merged, h, config.seed ^ 0xD13))
+                    }
+                };
+                (
+                    None,
+                    Some(cell),
+                    Some(Dense::new(h, 1, config.seed ^ 0xD14)),
+                )
+            }
+        };
+        Self {
+            config,
+            user_dense,
+            user_act,
+            attention,
+            out_dense,
+            recurrent,
+            step_dense,
+            scaler: None,
+            dyn_cache: None,
+        }
+    }
+
+    /// Number of dynamic intervals.
+    pub fn n_intervals(&self) -> usize {
+        self.config.intervals.len()
+    }
+
+    /// Attention weights over the news window from the last forward pass
+    /// (`1 × k`), when the exogenous branch is enabled.
+    pub fn attention_weights(&self) -> Option<&Matrix> {
+        self.attention.as_ref().and_then(|a| a.attention_weights())
+    }
+
+    /// Fit the input scaler on training rows (called by the trainer).
+    pub(crate) fn fit_scaler(&mut self, samples: &[PackedSample]) {
+        let rows: Vec<Vec<f64>> = samples
+            .iter()
+            .flat_map(|s| s.user_rows.iter().cloned())
+            .collect();
+        self.scaler = Some(StandardScaler::fit(&rows));
+    }
+
+    fn scale_rows(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        match &self.scaler {
+            Some(s) => s.transform(rows),
+            None => rows.to_vec(),
+        }
+    }
+
+    /// Attention context for a sample (1 × hdim), if exogenous is on.
+    fn attend(&mut self, sample: &PackedSample) -> Option<Matrix> {
+        let att = self.attention.as_mut()?;
+        if sample.news_d2v.is_empty() {
+            return Some(Matrix::zeros(1, att.out_dim()));
+        }
+        let xt = Matrix::from_rows(&[sample.tweet_d2v.clone()]);
+        let xn: Vec<Matrix> = sample
+            .news_d2v
+            .iter()
+            .map(|v| Matrix::from_rows(&[v.clone()]))
+            .collect();
+        Some(att.forward(&xt, &xn))
+    }
+
+    /// Forward for one sample: returns per-candidate logits
+    /// (`candidates × 1` static, `candidates × T` dynamic).
+    pub fn forward(&mut self, sample: &PackedSample) -> Matrix {
+        let rows = self.scale_rows(&sample.user_rows);
+        let x = Matrix::from_rows(&rows);
+        let hidden = self.user_act.forward(&self.user_dense.forward(&x));
+        let n = hidden.rows();
+        let merged = match self.attend(sample) {
+            Some(ctx) => {
+                let ctx_rows = Matrix::from_fn(n, ctx.cols(), |_, c| ctx.get(0, c));
+                hidden.concat_cols(&ctx_rows)
+            }
+            None => hidden,
+        };
+        match self.config.mode {
+            RetinaMode::Static => self.out_dense.as_mut().unwrap().forward(&merged),
+            RetinaMode::Dynamic => {
+                let t_len = self.config.intervals.len();
+                let xs: Vec<Matrix> = (0..t_len).map(|_| merged.clone()).collect();
+                let hs = self.recurrent.as_mut().unwrap().forward(&xs);
+                // Per-step logits via the shared step dense; assemble
+                // candidates × T.
+                let step = self.step_dense.as_mut().unwrap();
+                let mut out = Matrix::zeros(n, t_len);
+                for (t, h) in hs.iter().enumerate() {
+                    let z = step.forward_inference(h);
+                    for r in 0..n {
+                        out.set(r, t, z.get(r, 0));
+                    }
+                }
+                // Cache hidden states for backward by re-running the step
+                // dense in caching mode on the concatenation.
+                self.dyn_cache = Some(hs);
+                out
+            }
+        }
+    }
+
+    /// Backward for one sample given the logit gradients; accumulates all
+    /// parameter gradients.
+    pub fn backward(&mut self, sample: &PackedSample, grad_logits: &Matrix) {
+        let n = sample.user_rows.len();
+        let h = self.config.hdim;
+        let d_merged = match self.config.mode {
+            RetinaMode::Static => self.out_dense.as_mut().unwrap().backward(grad_logits),
+            RetinaMode::Dynamic => {
+                let hs = self.dyn_cache.take().expect("backward before forward");
+                let t_len = self.config.intervals.len();
+                let step = self.step_dense.as_mut().unwrap();
+                let mut grad_hs: Vec<Matrix> = Vec::with_capacity(t_len);
+                for (t, hmat) in hs.iter().enumerate() {
+                    // Re-run step dense in caching mode for this timestep.
+                    let _ = step.forward(hmat);
+                    let g = Matrix::from_fn(n, 1, |r, _| grad_logits.get(r, t));
+                    grad_hs.push(step.backward(&g));
+                }
+                let dxs = self.recurrent.as_mut().unwrap().backward(&grad_hs);
+                // Inputs were identical at each step: sum the gradients.
+                let mut acc = dxs[0].clone();
+                for d in &dxs[1..] {
+                    acc.add_assign(d);
+                }
+                acc
+            }
+        };
+        // Split merged gradient into hidden part and attention context.
+        let d_hidden = if self.attention.is_some() {
+            let (d_hidden, d_ctx_rows) = d_merged.split_cols(h);
+            let d_ctx = d_ctx_rows.sum_rows();
+            if !sample.news_d2v.is_empty() {
+                let _ = self.attention.as_mut().unwrap().backward(&d_ctx);
+            }
+            d_hidden
+        } else {
+            d_merged
+        };
+        let d_pre = self.user_act.backward(&d_hidden);
+        let _ = self.user_dense.backward(&d_pre);
+    }
+
+    /// All trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.user_dense.params_mut();
+        if let Some(att) = self.attention.as_mut() {
+            p.extend(att.params_mut());
+        }
+        if let Some(d) = self.out_dense.as_mut() {
+            p.extend(d.params_mut());
+        }
+        if let Some(c) = self.recurrent.as_mut() {
+            p.extend(c.params_mut());
+        }
+        if let Some(d) = self.step_dense.as_mut() {
+            p.extend(d.params_mut());
+        }
+        p
+    }
+
+    /// Static probabilities per candidate. In dynamic mode, the static
+    /// retweet probability is `1 − Π_j (1 − p_j)` (the union over
+    /// intervals).
+    pub fn predict_proba(&mut self, sample: &PackedSample) -> Vec<f64> {
+        let logits = self.forward(sample);
+        match self.config.mode {
+            RetinaMode::Static => (0..logits.rows())
+                .map(|r| sigmoid(logits.get(r, 0)))
+                .collect(),
+            RetinaMode::Dynamic => (0..logits.rows())
+                .map(|r| {
+                    let mut p_none = 1.0;
+                    for t in 0..logits.cols() {
+                        p_none *= 1.0 - sigmoid(logits.get(r, t));
+                    }
+                    1.0 - p_none
+                })
+                .collect(),
+        }
+    }
+
+    /// Per-interval probabilities (`candidates × T`); dynamic mode only.
+    pub fn predict_proba_dynamic(&mut self, sample: &PackedSample) -> Matrix {
+        assert_eq!(self.config.mode, RetinaMode::Dynamic);
+        self.forward(sample).map(sigmoid)
+    }
+
+    /// Target matrix matching [`Retina::forward`]'s logit shape.
+    pub fn targets(&self, sample: &PackedSample) -> Matrix {
+        match self.config.mode {
+            RetinaMode::Static => {
+                Matrix::from_fn(sample.labels.len(), 1, |r, _| sample.labels[r] as f64)
+            }
+            RetinaMode::Dynamic => Matrix::from_fn(
+                sample.interval_labels.len(),
+                self.config.intervals.len(),
+                |r, t| sample.interval_labels[r][t] as f64,
+            ),
+        }
+    }
+
+    /// Loss/gradient pair for one sample under a weighted BCE.
+    pub fn loss_and_grad(
+        &mut self,
+        sample: &PackedSample,
+        bce: &WeightedBce,
+    ) -> (f64, Matrix) {
+        let logits = self.forward(sample);
+        let targets = self.targets(sample);
+        (bce.loss(&logits, &targets), bce.grad(&logits, &targets))
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_sample(n: usize, d: usize, k: usize, hateful: bool, seed: u64) -> PackedSample {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let user_rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let labels: Vec<u8> = (0..n).map(|i| u8::from(i % 4 == 0)).collect();
+        let intervals = default_intervals();
+        let retweet_times: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l == 1 { 10.0 + rng.gen_range(0.0..50.0) } else { f64::INFINITY })
+            .collect();
+        let interval_labels: Vec<Vec<u8>> = retweet_times
+            .iter()
+            .map(|&t| super::interval_label_row(10.0, t, &intervals))
+            .collect();
+        PackedSample {
+            user_rows,
+            labels,
+            interval_labels,
+            tweet_d2v: (0..50).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            news_d2v: (0..k)
+                .map(|_| (0..50).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect(),
+            hateful,
+            t0: 10.0,
+            retweet_times,
+        }
+    }
+
+    #[test]
+    fn static_forward_shape() {
+        let mut m = Retina::new(20, RetinaConfig::static_default());
+        let s = toy_sample(8, 20, 5, false, 0);
+        let logits = m.forward(&s);
+        assert_eq!((logits.rows(), logits.cols()), (8, 1));
+        let p = m.predict_proba(&s);
+        assert_eq!(p.len(), 8);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn dynamic_forward_shape() {
+        let mut m = Retina::new(20, RetinaConfig::dynamic_default());
+        let s = toy_sample(6, 20, 5, false, 1);
+        let logits = m.forward(&s);
+        assert_eq!((logits.rows(), logits.cols()), (6, 6));
+        let p = m.predict_proba_dynamic(&s);
+        assert!(p.data().iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn ablated_model_has_no_attention() {
+        let cfg = RetinaConfig {
+            use_exogenous: false,
+            ..RetinaConfig::static_default()
+        };
+        let mut m = Retina::new(20, cfg);
+        let s = toy_sample(4, 20, 5, false, 2);
+        let logits = m.forward(&s);
+        assert_eq!(logits.rows(), 4);
+        assert!(m.attention.is_none());
+    }
+
+    #[test]
+    fn interval_labels_partition_time() {
+        let intervals = default_intervals();
+        // A retweet at +2h lands in interval 1 ((1,4]).
+        let row = super::interval_label_row(0.0, 2.0, &intervals);
+        assert_eq!(row, vec![0, 1, 0, 0, 0, 0]);
+        // Never-retweet has all-zero labels.
+        let none = super::interval_label_row(0.0, f64::INFINITY, &intervals);
+        assert!(none.iter().all(|&x| x == 0));
+        // Sum over intervals ≤ 1 always.
+        for dt in [0.5, 3.0, 10.0, 100.0, 1000.0] {
+            let r = super::interval_label_row(0.0, dt, &intervals);
+            assert!(r.iter().map(|&x| x as u32).sum::<u32>() <= 1);
+        }
+    }
+
+    #[test]
+    fn backward_accumulates_gradients() {
+        let mut m = Retina::new(20, RetinaConfig::static_default());
+        let s = toy_sample(8, 20, 5, false, 3);
+        let bce = WeightedBce::unweighted();
+        let (_, grad) = m.loss_and_grad(&s, &bce);
+        m.backward(&s, &grad);
+        let has_grad = m
+            .params_mut()
+            .iter()
+            .any(|p| p.grad.data().iter().any(|&g| g != 0.0));
+        assert!(has_grad, "no gradient flowed");
+    }
+
+    #[test]
+    fn dynamic_backward_runs() {
+        let mut m = Retina::new(20, RetinaConfig::dynamic_default());
+        let s = toy_sample(5, 20, 5, false, 4);
+        let bce = WeightedBce { pos_weight: 3.0 };
+        let (_, grad) = m.loss_and_grad(&s, &bce);
+        m.backward(&s, &grad);
+        let total: f64 = m
+            .params_mut()
+            .iter()
+            .map(|p| p.grad.frobenius())
+            .sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn union_probability_exceeds_max_interval() {
+        let mut m = Retina::new(20, RetinaConfig::dynamic_default());
+        let s = toy_sample(5, 20, 5, false, 5);
+        let per = m.predict_proba_dynamic(&s);
+        let stat = m.predict_proba(&s);
+        for r in 0..5 {
+            let max_j = (0..per.cols()).map(|t| per.get(r, t)).fold(0.0, f64::max);
+            assert!(stat[r] >= max_j - 1e-12);
+        }
+    }
+}

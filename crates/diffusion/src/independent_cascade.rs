@@ -1,0 +1,92 @@
+//! Independent Cascade model — an extra rudimentary baseline used in the
+//! ablation benches (the paper's related-work section cites IC-based
+//! embedding models [23, 24] as the pre-neural state of the art).
+//!
+//! Each newly-activated node gets one chance to activate each inactive
+//! follower with probability `p`.
+
+use crate::task::CascadeSample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socialsim::FollowerGraph;
+
+/// The IC baseline.
+#[derive(Debug, Clone)]
+pub struct IndependentCascade {
+    /// Per-edge activation probability.
+    pub p: f64,
+    /// Monte-Carlo repetitions.
+    pub n_sims: usize,
+    seed: u64,
+}
+
+impl IndependentCascade {
+    /// Create with activation probability `p`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        Self { p, n_sims: 8, seed }
+    }
+
+    fn simulate(&self, graph: &FollowerGraph, seed_user: usize, rng: &mut StdRng) -> Vec<u32> {
+        let mut active = vec![false; graph.n_users()];
+        active[seed_user] = true;
+        let mut frontier = vec![seed_user as u32];
+        let mut activated = Vec::new();
+        while let Some(u) = frontier.pop() {
+            for &f in graph.followers(u as usize) {
+                if !active[f as usize] && rng.gen_bool(self.p) {
+                    active[f as usize] = true;
+                    activated.push(f);
+                    frontier.push(f);
+                }
+            }
+        }
+        activated
+    }
+
+    /// Activation-probability estimates for one sample's candidates.
+    pub fn predict_proba(&self, graph: &FollowerGraph, sample: &CascadeSample) -> Vec<f64> {
+        let index: std::collections::HashMap<u32, usize> = sample
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
+        let mut counts = vec![0usize; sample.candidates.len()];
+        let mut rng = StdRng::seed_from_u64(self.seed ^ sample.tweet as u64);
+        for _ in 0..self.n_sims {
+            for u in self.simulate(graph, sample.root_user, &mut rng) {
+                if let Some(&i) = index.get(&u) {
+                    counts[i] += 1;
+                }
+            }
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / self.n_sims as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::RetweetTask;
+    use socialsim::{Dataset, SimConfig};
+
+    #[test]
+    fn probabilities_behave() {
+        let d = Dataset::generate(SimConfig {
+            tweet_scale: 0.05,
+            n_users: 250,
+            ..SimConfig::tiny()
+        });
+        let samples = RetweetTask::default().build(&d);
+        let m0 = IndependentCascade::new(0.0, 0);
+        let m9 = IndependentCascade::new(0.9, 0);
+        let s = &samples[0];
+        let p0 = m0.predict_proba(d.graph(), s);
+        let p9 = m9.predict_proba(d.graph(), s);
+        assert!(p0.iter().all(|&x| x == 0.0));
+        assert!(p9.iter().sum::<f64>() > p0.iter().sum::<f64>());
+    }
+}

@@ -1,0 +1,211 @@
+//! The Susceptible–Infectious–Recovered model (Kermack & McKendrick,
+//! 1927) as a retweet-prediction baseline (Section VII-A).
+//!
+//! "Two parameters govern the model — transmission rate and recovery
+//! rate, which dictate the spread of contagion (retweeting in our case)
+//! along with a social/information network."
+//!
+//! Discrete-time simulation over the follower graph: each step, every
+//! infectious user transmits to each susceptible follower with probability
+//! β, and recovers with probability γ. A candidate is predicted to retweet
+//! iff the simulation ever infects them. The transmission rate is fitted
+//! on training cascades by matching the mean cascade size (one-dimensional
+//! bisection).
+
+use crate::task::CascadeSample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socialsim::FollowerGraph;
+
+/// A fitted SIR baseline.
+#[derive(Debug, Clone)]
+pub struct SirModel {
+    /// Transmission probability per (infectious → susceptible) contact per
+    /// step.
+    pub beta: f64,
+    /// Recovery probability per step.
+    pub gamma: f64,
+    /// Simulation horizon in steps.
+    pub max_steps: usize,
+    /// Monte-Carlo repetitions for probability estimates.
+    pub n_sims: usize,
+    seed: u64,
+}
+
+impl SirModel {
+    /// Create with explicit parameters.
+    pub fn new(beta: f64, gamma: f64, seed: u64) -> Self {
+        Self {
+            beta,
+            gamma,
+            max_steps: 12,
+            n_sims: 8,
+            seed,
+        }
+    }
+
+    /// Fit β by bisection so that the simulated mean cascade size on the
+    /// training roots matches the observed mean (γ fixed at 0.35).
+    pub fn fit(graph: &FollowerGraph, train: &[CascadeSample], seed: u64) -> Self {
+        let observed: f64 = train
+            .iter()
+            .map(|s| s.labels.iter().filter(|&&l| l == 1).count() as f64)
+            .sum::<f64>()
+            / train.len().max(1) as f64;
+        let sample: Vec<&CascadeSample> = train.iter().take(60).collect();
+        let mut lo = 1e-4;
+        let mut hi = 0.5;
+        let mut model = Self::new(0.05, 0.35, seed);
+        for _ in 0..12 {
+            let mid = 0.5 * (lo + hi);
+            model.beta = mid;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mean: f64 = sample
+                .iter()
+                .map(|s| model.simulate_infected(graph, s.root_user, &mut rng).len() as f64)
+                .sum::<f64>()
+                / sample.len().max(1) as f64;
+            if mean > observed {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        model.beta = 0.5 * (lo + hi);
+        model
+    }
+
+    /// One stochastic simulation; returns the set of ever-infected users
+    /// (excluding the seed).
+    fn simulate_infected(
+        &self,
+        graph: &FollowerGraph,
+        seed_user: usize,
+        rng: &mut StdRng,
+    ) -> Vec<u32> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum State {
+            S,
+            I,
+            R,
+        }
+        let mut state = vec![State::S; graph.n_users()];
+        state[seed_user] = State::I;
+        let mut infectious = vec![seed_user as u32];
+        let mut infected_ever = Vec::new();
+        for _ in 0..self.max_steps {
+            if infectious.is_empty() {
+                break;
+            }
+            let mut newly = Vec::new();
+            for &u in &infectious {
+                for &f in graph.followers(u as usize) {
+                    if state[f as usize] == State::S && rng.gen_bool(self.beta) {
+                        state[f as usize] = State::I;
+                        newly.push(f);
+                        infected_ever.push(f);
+                    }
+                }
+            }
+            // Recoveries.
+            let mut still = Vec::new();
+            for &u in &infectious {
+                if rng.gen_bool(self.gamma) {
+                    state[u as usize] = State::R;
+                } else {
+                    still.push(u);
+                }
+            }
+            still.extend(newly.iter().copied());
+            infectious = still;
+        }
+        infected_ever
+    }
+
+    /// Probability estimates (fraction of Monte-Carlo runs infecting each
+    /// candidate) for one sample.
+    pub fn predict_proba(&self, graph: &FollowerGraph, sample: &CascadeSample) -> Vec<f64> {
+        let mut counts = vec![0usize; sample.candidates.len()];
+        let index: std::collections::HashMap<u32, usize> = sample
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ sample.tweet as u64);
+        for _ in 0..self.n_sims {
+            for u in self.simulate_infected(graph, sample.root_user, &mut rng) {
+                if let Some(&i) = index.get(&u) {
+                    counts[i] += 1;
+                }
+            }
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / self.n_sims as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::RetweetTask;
+    use socialsim::{Dataset, SimConfig};
+
+    fn setup() -> (Dataset, Vec<CascadeSample>) {
+        let d = Dataset::generate(SimConfig {
+            tweet_scale: 0.05,
+            n_users: 300,
+            ..SimConfig::tiny()
+        });
+        let s = RetweetTask::default().build(&d);
+        (d, s)
+    }
+
+    #[test]
+    fn zero_beta_infects_nobody() {
+        let (d, samples) = setup();
+        let m = SirModel::new(0.0, 0.3, 0);
+        let p = m.predict_proba(d.graph(), &samples[0]);
+        assert!(p.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let (d, samples) = setup();
+        let m = SirModel::new(0.1, 0.3, 0);
+        for s in samples.iter().take(5) {
+            for p in m.predict_proba(d.graph(), s) {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn fit_produces_reasonable_beta() {
+        let (d, samples) = setup();
+        let m = SirModel::fit(d.graph(), &samples, 0);
+        assert!(m.beta > 0.0 && m.beta < 0.5, "beta = {}", m.beta);
+    }
+
+    #[test]
+    fn higher_beta_infects_more() {
+        let (d, samples) = setup();
+        let s = &samples[0];
+        let low = SirModel::new(0.01, 0.3, 0);
+        let high = SirModel::new(0.4, 0.3, 0);
+        let sum_low: f64 = low.predict_proba(d.graph(), s).iter().sum();
+        let sum_high: f64 = high.predict_proba(d.graph(), s).iter().sum();
+        assert!(sum_high > sum_low);
+    }
+
+    #[test]
+    fn deterministic_per_tweet_seed() {
+        let (d, samples) = setup();
+        let m = SirModel::new(0.1, 0.3, 7);
+        let a = m.predict_proba(d.graph(), &samples[0]);
+        let b = m.predict_proba(d.graph(), &samples[0]);
+        assert_eq!(a, b);
+    }
+}

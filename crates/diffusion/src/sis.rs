@@ -1,0 +1,144 @@
+//! Susceptible–Infectious–Susceptible model (Lajmanovich & Yorke, 1976
+//! — the paper's reference [34] for contagion-style susceptibility).
+//!
+//! Unlike SIR, recovered nodes become susceptible again, so a user can be
+//! re-exposed; for retweet prediction each user still only counts once
+//! (first infection). Included as an extra rudimentary baseline for the
+//! ablation benches.
+
+use crate::task::CascadeSample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socialsim::FollowerGraph;
+
+/// The SIS baseline.
+#[derive(Debug, Clone)]
+pub struct SisModel {
+    /// Transmission probability per contact per step.
+    pub beta: f64,
+    /// Probability an infectious node reverts to susceptible per step.
+    pub gamma: f64,
+    /// Simulation horizon in steps.
+    pub max_steps: usize,
+    /// Monte-Carlo repetitions.
+    pub n_sims: usize,
+    seed: u64,
+}
+
+impl SisModel {
+    /// Create with explicit parameters.
+    pub fn new(beta: f64, gamma: f64, seed: u64) -> Self {
+        Self {
+            beta,
+            gamma,
+            max_steps: 10,
+            n_sims: 8,
+            seed,
+        }
+    }
+
+    fn simulate(&self, graph: &FollowerGraph, seed_user: usize, rng: &mut StdRng) -> Vec<u32> {
+        let mut infectious = vec![false; graph.n_users()];
+        infectious[seed_user] = true;
+        let mut ever = vec![false; graph.n_users()];
+        let mut active = vec![seed_user as u32];
+        let mut infected_order = Vec::new();
+        for _ in 0..self.max_steps {
+            if active.is_empty() {
+                break;
+            }
+            let mut next_active = Vec::new();
+            for &u in &active {
+                for &f in graph.followers(u as usize) {
+                    if !infectious[f as usize] && rng.gen_bool(self.beta) {
+                        infectious[f as usize] = true;
+                        if !ever[f as usize] {
+                            ever[f as usize] = true;
+                            infected_order.push(f);
+                        }
+                        next_active.push(f);
+                    }
+                }
+                // SIS: revert to susceptible with probability gamma.
+                if rng.gen_bool(self.gamma) {
+                    infectious[u as usize] = false;
+                } else {
+                    next_active.push(u);
+                }
+            }
+            next_active.sort_unstable();
+            next_active.dedup();
+            active = next_active;
+        }
+        infected_order
+    }
+
+    /// Infection-probability estimates for one sample's candidates.
+    pub fn predict_proba(&self, graph: &FollowerGraph, sample: &CascadeSample) -> Vec<f64> {
+        let index: std::collections::HashMap<u32, usize> = sample
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
+        let mut counts = vec![0usize; sample.candidates.len()];
+        let mut rng = StdRng::seed_from_u64(self.seed ^ sample.tweet as u64);
+        for _ in 0..self.n_sims {
+            for u in self.simulate(graph, sample.root_user, &mut rng) {
+                if let Some(&i) = index.get(&u) {
+                    counts[i] += 1;
+                }
+            }
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / self.n_sims as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::RetweetTask;
+    use socialsim::{Dataset, SimConfig};
+
+    #[test]
+    fn probabilities_bounded_and_monotone_in_beta() {
+        let d = Dataset::generate(SimConfig {
+            tweet_scale: 0.04,
+            n_users: 250,
+            ..SimConfig::tiny()
+        });
+        let samples = RetweetTask {
+            min_news: 0,
+            ..Default::default()
+        }
+        .build(&d);
+        let s = &samples[0];
+        let low = SisModel::new(0.01, 0.4, 0).predict_proba(d.graph(), s);
+        let high = SisModel::new(0.4, 0.4, 0).predict_proba(d.graph(), s);
+        assert!(low.iter().all(|p| (0.0..=1.0).contains(p)));
+        assert!(high.iter().sum::<f64>() >= low.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn reinfection_does_not_double_count() {
+        // With gamma=1 every node reverts immediately; ever-infected set
+        // still contains unique users only.
+        let d = Dataset::generate(SimConfig {
+            tweet_scale: 0.04,
+            n_users: 200,
+            ..SimConfig::tiny()
+        });
+        let samples = RetweetTask {
+            min_news: 0,
+            ..Default::default()
+        }
+        .build(&d);
+        let m = SisModel::new(0.3, 1.0, 1);
+        for p in m.predict_proba(d.graph(), &samples[0]) {
+            assert!(p <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The General (Linear) Threshold model of Kempe, Kleinberg & Tardos
+//! (2003) as a retweet-prediction baseline (Section VII-A).
+//!
+//! "each node has threshold inertia chosen uniformly at random from
+//! [0,1]. A node becomes active if the weighted sum of its active
+//! neighbors exceeds this threshold." Incoming influence weights are
+//! uniform `1/|followees|`, the standard instantiation.
+
+use crate::task::CascadeSample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use socialsim::FollowerGraph;
+
+/// The threshold-model baseline.
+#[derive(Debug, Clone)]
+pub struct ThresholdModel {
+    /// Monte-Carlo repetitions (thresholds re-drawn each run).
+    pub n_sims: usize,
+    /// Maximum propagation rounds per run.
+    pub max_rounds: usize,
+    /// Scale on influence weights (1.0 = plain `1/deg`); fitted so that
+    /// activation is possible in sparse graphs.
+    pub influence_scale: f64,
+    seed: u64,
+}
+
+impl ThresholdModel {
+    /// Create the baseline.
+    pub fn new(influence_scale: f64, seed: u64) -> Self {
+        Self {
+            n_sims: 8,
+            max_rounds: 10,
+            influence_scale,
+            seed,
+        }
+    }
+
+    /// One threshold-model run; returns ever-activated users (excluding
+    /// the seed).
+    fn simulate(&self, graph: &FollowerGraph, seed_user: usize, rng: &mut StdRng) -> Vec<u32> {
+        let n = graph.n_users();
+        let mut threshold: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).collect();
+        threshold[seed_user] = 0.0;
+        let mut active = vec![false; n];
+        active[seed_user] = true;
+        let mut activated = Vec::new();
+        let mut frontier = vec![seed_user as u32];
+        for _ in 0..self.max_rounds {
+            if frontier.is_empty() {
+                break;
+            }
+            // Nodes whose followees include newly active users get checked.
+            let mut to_check: Vec<u32> = Vec::new();
+            for &u in &frontier {
+                for &f in graph.followers(u as usize) {
+                    if !active[f as usize] {
+                        to_check.push(f);
+                    }
+                }
+            }
+            to_check.sort_unstable();
+            to_check.dedup();
+            let mut newly = Vec::new();
+            for &v in &to_check {
+                let followees = graph.followees(v as usize);
+                if followees.is_empty() {
+                    continue;
+                }
+                let w = self.influence_scale / followees.len() as f64;
+                let influence: f64 = followees
+                    .iter()
+                    .filter(|&&u| active[u as usize])
+                    .count() as f64
+                    * w;
+                if influence >= threshold[v as usize] {
+                    active[v as usize] = true;
+                    newly.push(v);
+                    activated.push(v);
+                }
+            }
+            frontier = newly;
+        }
+        activated
+    }
+
+    /// Activation-probability estimates for one sample's candidates.
+    pub fn predict_proba(&self, graph: &FollowerGraph, sample: &CascadeSample) -> Vec<f64> {
+        let index: std::collections::HashMap<u32, usize> = sample
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
+        let mut counts = vec![0usize; sample.candidates.len()];
+        let mut rng = StdRng::seed_from_u64(self.seed ^ sample.tweet as u64);
+        for _ in 0..self.n_sims {
+            for u in self.simulate(graph, sample.root_user, &mut rng) {
+                if let Some(&i) = index.get(&u) {
+                    counts[i] += 1;
+                }
+            }
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / self.n_sims as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::RetweetTask;
+    use socialsim::{Dataset, SimConfig};
+
+    fn setup() -> (Dataset, Vec<CascadeSample>) {
+        let d = Dataset::generate(SimConfig {
+            tweet_scale: 0.05,
+            n_users: 300,
+            ..SimConfig::tiny()
+        });
+        let s = RetweetTask::default().build(&d);
+        (d, s)
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let (d, samples) = setup();
+        let m = ThresholdModel::new(1.0, 0);
+        for s in samples.iter().take(5) {
+            for p in m.predict_proba(d.graph(), s) {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_influence_activates_almost_nobody() {
+        let (d, samples) = setup();
+        let m = ThresholdModel::new(0.0, 0);
+        let p = m.predict_proba(d.graph(), &samples[0]);
+        // Only nodes with threshold exactly 0 could activate; measure ~0.
+        let total: f64 = p.iter().sum();
+        assert!(total < 0.5);
+    }
+
+    #[test]
+    fn stronger_influence_activates_more() {
+        let (d, samples) = setup();
+        let weak = ThresholdModel::new(0.5, 3);
+        let strong = ThresholdModel::new(4.0, 3);
+        let sum = |m: &ThresholdModel| -> f64 {
+            samples
+                .iter()
+                .take(10)
+                .map(|s| m.predict_proba(d.graph(), s).iter().sum::<f64>())
+                .sum()
+        };
+        assert!(sum(&strong) > sum(&weak));
+    }
+
+    #[test]
+    fn deterministic_per_tweet() {
+        let (d, samples) = setup();
+        let m = ThresholdModel::new(1.0, 9);
+        assert_eq!(
+            m.predict_proba(d.graph(), &samples[0]),
+            m.predict_proba(d.graph(), &samples[0])
+        );
+    }
+}

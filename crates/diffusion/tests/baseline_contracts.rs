@@ -1,0 +1,110 @@
+//! Contract tests for the diffusion baselines on a shared task.
+
+use diffusion::{
+    split_samples, ForestModel, ForestModelConfig, Hidan, HidanConfig, IndependentCascade,
+    RetweetTask, SirModel, ThresholdModel, TopoLstm, TopoLstmConfig,
+};
+use ml::metrics::{map_at_k, rank_by_score};
+use socialsim::{Dataset, SimConfig};
+
+fn setup() -> (Dataset, Vec<diffusion::CascadeSample>) {
+    let data = Dataset::generate(SimConfig {
+        tweet_scale: 0.05,
+        n_users: 300,
+        ..SimConfig::tiny()
+    });
+    let samples = RetweetTask {
+        min_news: 10,
+        max_candidates: 40,
+        ..Default::default()
+    }
+    .build(&data);
+    (data, samples)
+}
+
+#[test]
+fn every_baseline_scores_every_candidate() {
+    let (data, samples) = setup();
+    let n_users = data.users().len();
+    let (train, test) = split_samples(samples, 0.8, 0);
+
+    let mut topo = TopoLstm::new(n_users, TopoLstmConfig { epochs: 1, ..Default::default() });
+    topo.train(&train);
+    let mut forest = ForestModel::new(n_users, ForestModelConfig { epochs: 1, ..Default::default() });
+    forest.train(data.graph(), &train);
+    let mut hidan = Hidan::new(n_users, HidanConfig { epochs: 1, ..Default::default() });
+    hidan.train(&train);
+    let sir = SirModel::fit(data.graph(), &train, 0);
+    let thresh = ThresholdModel::new(1.0, 0);
+    let ic = IndependentCascade::new(0.05, 0);
+
+    for s in test.iter().take(8) {
+        let n = s.candidates.len();
+        let checks: Vec<(&str, Vec<f64>)> = vec![
+            ("topolstm", topo.predict_proba(s)),
+            ("forest", forest.predict_proba(data.graph(), s)),
+            ("hidan", hidan.predict_proba(s)),
+            ("sir", sir.predict_proba(data.graph(), s)),
+            ("threshold", thresh.predict_proba(data.graph(), s)),
+            ("ic", ic.predict_proba(data.graph(), s)),
+        ];
+        for (name, scores) in checks {
+            assert_eq!(scores.len(), n, "{name}: wrong score count");
+            assert!(
+                scores.iter().all(|p| (0.0..=1.0).contains(p) && p.is_finite()),
+                "{name}: out-of-range score"
+            );
+        }
+    }
+}
+
+#[test]
+fn trained_neural_rankers_beat_random_ranking() {
+    let (data, samples) = setup();
+    let n_users = data.users().len();
+    let (train, test) = split_samples(samples, 0.8, 1);
+
+    let mut topo = TopoLstm::new(n_users, TopoLstmConfig { epochs: 3, ..Default::default() });
+    topo.train(&train);
+    let topo_lists: Vec<Vec<bool>> = test
+        .iter()
+        .map(|s| rank_by_score(&topo.predict_proba(s), &s.labels))
+        .collect();
+    let topo_map = map_at_k(&topo_lists, 20);
+
+    // Random baseline: candidates in given (shuffled) order.
+    let rand_lists: Vec<Vec<bool>> = test
+        .iter()
+        .map(|s| s.labels.iter().map(|&l| l == 1).collect())
+        .collect();
+    let rand_map = map_at_k(&rand_lists, 20);
+
+    assert!(
+        topo_map > rand_map,
+        "TopoLSTM MAP {topo_map} should beat random {rand_map}"
+    );
+}
+
+#[test]
+fn task_respects_beyond_organic_flag() {
+    let (data, _) = setup();
+    let organic = RetweetTask {
+        min_news: 0,
+        include_non_followers: false,
+        ..Default::default()
+    }
+    .build(&data);
+    let extended = RetweetTask {
+        min_news: 0,
+        include_non_followers: true,
+        ..Default::default()
+    }
+    .build(&data);
+    // Extended mode can only add positives (beyond-organic retweeters).
+    let pos = |ss: &[diffusion::CascadeSample]| -> usize {
+        ss.iter()
+            .map(|s| s.labels.iter().filter(|&&l| l == 1).count())
+            .sum()
+    };
+    assert!(pos(&extended) >= pos(&organic));
+}

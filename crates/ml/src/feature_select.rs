@@ -1,0 +1,188 @@
+//! K-best feature selection by mutual information.
+//!
+//! Section VI-C: "we conduct experiments selecting K-best features (K=50)
+//! using mutual information". Continuous features are discretized into
+//! equal-frequency (quantile) bins, then `I(X_d; Y)` is estimated from the
+//! joint histogram with the plug-in estimator.
+
+/// A fitted mutual-information K-best selector.
+#[derive(Debug, Clone)]
+pub struct MutualInfoSelector {
+    /// Indices of the selected features in score-descending order.
+    selected: Vec<usize>,
+    /// MI score per original feature.
+    scores: Vec<f64>,
+}
+
+impl MutualInfoSelector {
+    /// Fit: estimate MI of every feature with the binary label using
+    /// `bins` quantile bins, keep the top `k`.
+    pub fn fit(x: &[Vec<f64>], y: &[u8], k: usize, bins: usize) -> Self {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty());
+        let d = x[0].len();
+        let bins = bins.max(2);
+        let mut scores = Vec::with_capacity(d);
+        for f in 0..d {
+            let col: Vec<f64> = x.iter().map(|r| r[f]).collect();
+            scores.push(mutual_information(&col, y, bins));
+        }
+        let mut idx: Vec<usize> = (0..d).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k.min(d));
+        Self {
+            selected: idx,
+            scores,
+        }
+    }
+
+    /// Indices of the selected features.
+    pub fn selected(&self) -> &[usize] {
+        &self.selected
+    }
+
+    /// MI score of original feature `f`.
+    pub fn score(&self, f: usize) -> f64 {
+        self.scores[f]
+    }
+
+    /// Project a row onto the selected features.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        self.selected.iter().map(|&f| row[f]).collect()
+    }
+
+    /// Project a batch.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.transform_row(r)).collect()
+    }
+}
+
+/// Plug-in MI estimate between a continuous feature (quantile-binned) and a
+/// binary label, in nats.
+pub fn mutual_information(col: &[f64], y: &[u8], bins: usize) -> f64 {
+    let n = col.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let assignments = quantile_bins(col, bins);
+    let n_bins = assignments.iter().copied().max().unwrap_or(0) + 1;
+    let mut joint = vec![[0usize; 2]; n_bins];
+    let mut py = [0usize; 2];
+    for (&b, &label) in assignments.iter().zip(y) {
+        joint[b][label as usize] += 1;
+        py[label as usize] += 1;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for b in 0..n_bins {
+        let pb = (joint[b][0] + joint[b][1]) as f64 / nf;
+        if pb == 0.0 {
+            continue;
+        }
+        for c in 0..2 {
+            let pxy = joint[b][c] as f64 / nf;
+            if pxy == 0.0 {
+                continue;
+            }
+            let pc = py[c] as f64 / nf;
+            mi += pxy * (pxy / (pb * pc)).ln();
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Assign each value to one of up to `bins` equal-frequency bins. Equal
+/// values always land in the same bin.
+fn quantile_bins(col: &[f64], bins: usize) -> Vec<usize> {
+    let n = col.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| col[a].partial_cmp(&col[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0usize; n];
+    let mut bin = 0usize;
+    let per = (n + bins - 1) / bins;
+    let mut i = 0;
+    while i < n {
+        // Extend bin boundary over ties so equal values share a bin.
+        let mut j = (i + per).min(n);
+        while j < n && col[idx[j]] == col[idx[j - 1]] {
+            j += 1;
+        }
+        for &k in &idx[i..j] {
+            out[k] = bin;
+        }
+        bin += 1;
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn informative_feature_scores_higher() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..400 {
+            let label: u8 = rng.gen_range(0..2);
+            // f0 perfectly separable, f1 pure noise.
+            x.push(vec![label as f64 + rng.gen_range(-0.1..0.1), rng.gen_range(0.0..1.0)]);
+            y.push(label);
+        }
+        let sel = MutualInfoSelector::fit(&x, &y, 1, 8);
+        assert_eq!(sel.selected(), &[0]);
+        assert!(sel.score(0) > sel.score(1));
+    }
+
+    #[test]
+    fn mi_of_independent_near_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let col: Vec<f64> = (0..1000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let y: Vec<u8> = (0..1000).map(|_| rng.gen_range(0..2)).collect();
+        let mi = mutual_information(&col, &y, 8);
+        assert!(mi < 0.02, "independent MI should be ~0, got {mi}");
+    }
+
+    #[test]
+    fn mi_of_deterministic_is_label_entropy() {
+        // col = y exactly; MI = H(Y) = ln 2 for balanced labels.
+        let y: Vec<u8> = (0..100).map(|i| (i % 2) as u8).collect();
+        let col: Vec<f64> = y.iter().map(|&l| l as f64).collect();
+        let mi = mutual_information(&col, &y, 4);
+        assert!((mi - std::f64::consts::LN_2).abs() < 0.01, "mi={mi}");
+    }
+
+    #[test]
+    fn transform_projects_selected() {
+        let x = vec![vec![0.0, 10.0, 1.0], vec![1.0, 20.0, 0.0]];
+        let y = vec![0, 1];
+        let sel = MutualInfoSelector::fit(&x, &y, 2, 2);
+        let t = sel.transform(&x);
+        assert_eq!(t[0].len(), 2);
+    }
+
+    #[test]
+    fn constant_feature_zero_mi() {
+        let col = vec![5.0; 50];
+        let y: Vec<u8> = (0..50).map(|i| (i % 2) as u8).collect();
+        assert_eq!(mutual_information(&col, &y, 4), 0.0);
+    }
+
+    #[test]
+    fn quantile_bins_equal_values_share_bin() {
+        let col = vec![1.0, 1.0, 1.0, 2.0];
+        let b = quantile_bins(&col, 2);
+        assert_eq!(b[0], b[1]);
+        assert_eq!(b[1], b[2]);
+        assert_ne!(b[0], b[3]);
+    }
+}

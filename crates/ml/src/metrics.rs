@@ -1,0 +1,324 @@
+//! Evaluation metrics used throughout the paper's evaluation (Section
+//! VIII): macro-averaged F1, binary accuracy, ROC-AUC, and the ranking
+//! metrics MAP@k and HITS@k used to compare against the neural diffusion
+//! baselines.
+
+/// Binary confusion counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    pub tp: usize,
+    pub fp: usize,
+    pub tn: usize,
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against ground truth.
+    pub fn from_predictions(y_true: &[u8], y_pred: &[u8]) -> Self {
+        assert_eq!(y_true.len(), y_pred.len());
+        let mut c = Self::default();
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            match (t, p) {
+                (1, 1) => c.tp += 1,
+                (0, 1) => c.fp += 1,
+                (0, 0) => c.tn += 1,
+                (1, 0) => c.fn_ += 1,
+                _ => panic!("labels must be binary"),
+            }
+        }
+        c
+    }
+
+    /// Precision for the positive class (0 when undefined).
+    pub fn precision(&self) -> f64 {
+        safe_div(self.tp as f64, (self.tp + self.fp) as f64)
+    }
+
+    /// Recall for the positive class (0 when undefined).
+    pub fn recall(&self) -> f64 {
+        safe_div(self.tp as f64, (self.tp + self.fn_) as f64)
+    }
+
+    /// F1 of the positive class.
+    pub fn f1_pos(&self) -> f64 {
+        f1(self.precision(), self.recall())
+    }
+
+    /// F1 of the negative class.
+    pub fn f1_neg(&self) -> f64 {
+        let prec = safe_div(self.tn as f64, (self.tn + self.fn_) as f64);
+        let rec = safe_div(self.tn as f64, (self.tn + self.fp) as f64);
+        f1(prec, rec)
+    }
+}
+
+fn safe_div(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        0.0
+    } else {
+        a / b
+    }
+}
+
+fn f1(p: f64, r: f64) -> f64 {
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Macro-averaged F1 over the two classes — the paper's headline metric.
+pub fn macro_f1(y_true: &[u8], y_pred: &[u8]) -> f64 {
+    let c = Confusion::from_predictions(y_true, y_pred);
+    (c.f1_pos() + c.f1_neg()) / 2.0
+}
+
+/// Plain binary accuracy (ACC).
+pub fn accuracy(y_true: &[u8], y_pred: &[u8]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let hits = y_true.iter().zip(y_pred).filter(|(t, p)| t == p).count();
+    hits as f64 / y_true.len() as f64
+}
+
+/// Area under the ROC curve computed via the Mann–Whitney U statistic with
+/// midrank handling of ties. Returns 0.5 when either class is absent.
+pub fn roc_auc(y_true: &[u8], scores: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), scores.len());
+    let n_pos = y_true.iter().filter(|&&t| t == 1).count();
+    let n_neg = y_true.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank scores ascending with midranks for ties.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = y_true
+        .iter()
+        .zip(&ranks)
+        .filter(|(&t, _)| t == 1)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Average precision at `k` for one ranked list.
+///
+/// `relevant` flags (1 = relevant) are given in score-descending order.
+/// AP@k = (Σ_{i≤k, rel_i} precision@i) / min(k, #relevant), matching the
+/// convention of the diffusion-prediction literature the paper compares to.
+pub fn average_precision_at_k(relevant_ranked: &[bool], k: usize) -> f64 {
+    let total_rel = relevant_ranked.iter().filter(|&&r| r).count();
+    if total_rel == 0 {
+        return 0.0;
+    }
+    let k = k.min(relevant_ranked.len());
+    let mut hits = 0usize;
+    let mut sum_prec = 0.0;
+    for (i, &rel) in relevant_ranked.iter().take(k).enumerate() {
+        if rel {
+            hits += 1;
+            sum_prec += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum_prec / total_rel.min(k) as f64
+}
+
+/// Mean average precision at `k` over many ranked lists.
+pub fn map_at_k(ranked_lists: &[Vec<bool>], k: usize) -> f64 {
+    if ranked_lists.is_empty() {
+        return 0.0;
+    }
+    ranked_lists
+        .iter()
+        .map(|l| average_precision_at_k(l, k))
+        .sum::<f64>()
+        / ranked_lists.len() as f64
+}
+
+/// HITS@k for one ranked list: 1 if any of the top-k entries is relevant.
+pub fn hits_at_k_single(relevant_ranked: &[bool], k: usize) -> f64 {
+    if relevant_ranked.iter().take(k).any(|&r| r) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Mean HITS@k over many ranked lists.
+pub fn hits_at_k(ranked_lists: &[Vec<bool>], k: usize) -> f64 {
+    if ranked_lists.is_empty() {
+        return 0.0;
+    }
+    ranked_lists
+        .iter()
+        .map(|l| hits_at_k_single(l, k))
+        .sum::<f64>()
+        / ranked_lists.len() as f64
+}
+
+/// Rank candidate relevance flags by descending score (stable on ties) —
+/// helper to turn (scores, labels) into the ranked boolean lists consumed
+/// by [`map_at_k`] / [`hits_at_k`].
+pub fn rank_by_score(scores: &[f64], labels: &[u8]) -> Vec<bool> {
+    assert_eq!(scores.len(), labels.len());
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.into_iter().map(|i| labels[i] == 1).collect()
+}
+
+/// A bundle of the three headline classification metrics reported in
+/// Tables IV–VI.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassificationReport {
+    pub macro_f1: f64,
+    pub accuracy: f64,
+    pub auc: f64,
+}
+
+impl ClassificationReport {
+    /// Compute macro-F1 / ACC (thresholding scores at 0.5) and AUC.
+    pub fn from_scores(y_true: &[u8], scores: &[f64]) -> Self {
+        let y_pred: Vec<u8> = scores.iter().map(|&s| u8::from(s >= 0.5)).collect();
+        Self {
+            macro_f1: macro_f1(y_true, &y_pred),
+            accuracy: accuracy(y_true, &y_pred),
+            auc: roc_auc(y_true, scores),
+        }
+    }
+}
+
+impl std::fmt::Display for ClassificationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "macro-F1 {:.3} | ACC {:.3} | AUC {:.3}",
+            self.macro_f1, self.accuracy, self.auc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_tally() {
+        let c = Confusion::from_predictions(&[1, 1, 0, 0], &[1, 0, 1, 0]);
+        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+    }
+
+    #[test]
+    fn perfect_predictions_give_one() {
+        let y = [1, 0, 1, 0];
+        assert_eq!(macro_f1(&y, &y), 1.0);
+        assert_eq!(accuracy(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn macro_f1_hand_example() {
+        // tp=1 fp=1 fn=1 tn=1: pos P=R=0.5 F1=0.5; neg P=R=0.5 F1=0.5.
+        assert!((macro_f1(&[1, 1, 0, 0], &[1, 0, 1, 0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_all_negative_prediction() {
+        // Predicting all 0 on imbalanced data: high ACC, macro-F1 ~ 0.5*f1_neg.
+        let y_true = [1, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        let y_pred = [0; 10];
+        assert!(accuracy(&y_true, &y_pred) > 0.85);
+        let f = macro_f1(&y_true, &y_pred);
+        assert!(f < 0.5, "macro-F1 must punish majority-class collapse, got {f}");
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let y = [0, 0, 1, 1];
+        assert_eq!(roc_auc(&y, &[0.1, 0.2, 0.8, 0.9]), 1.0);
+        assert_eq!(roc_auc(&y, &[0.9, 0.8, 0.2, 0.1]), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        let y = [0, 1, 0, 1];
+        let s = [0.5, 0.5, 0.5, 0.5];
+        assert!((roc_auc(&y, &s) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[1, 1], &[0.2, 0.7]), 0.5);
+    }
+
+    #[test]
+    fn auc_hand_computed_with_tie() {
+        // scores: pos {0.8, 0.5}, neg {0.5, 0.2}
+        // pairs: (0.8>0.5)=1, (0.8>0.2)=1, (0.5=0.5)=0.5, (0.5>0.2)=1 -> 3.5/4
+        let y = [1, 1, 0, 0];
+        let s = [0.8, 0.5, 0.5, 0.2];
+        assert!((roc_auc(&y, &s) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_at_k_hand_example() {
+        // ranked relevance: [1,0,1], k=3 -> (1/1 + 2/3)/2 = 0.8333...
+        let ap = average_precision_at_k(&[true, false, true], 3);
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_no_relevant_is_zero() {
+        assert_eq!(average_precision_at_k(&[false, false], 5), 0.0);
+    }
+
+    #[test]
+    fn hits_at_k_basics() {
+        assert_eq!(hits_at_k_single(&[false, true, false], 1), 0.0);
+        assert_eq!(hits_at_k_single(&[false, true, false], 2), 1.0);
+        let lists = vec![vec![true], vec![false]];
+        assert!((hits_at_k(&lists, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_by_score_descending() {
+        let ranked = rank_by_score(&[0.1, 0.9, 0.5], &[0, 1, 0]);
+        assert_eq!(ranked, vec![true, false, false]);
+    }
+
+    #[test]
+    fn report_from_scores() {
+        let r = ClassificationReport::from_scores(&[1, 0], &[0.9, 0.1]);
+        assert_eq!(r.macro_f1, 1.0);
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.auc, 1.0);
+    }
+
+    #[test]
+    fn map_at_k_averages_lists() {
+        let lists = vec![vec![true, false], vec![false, true]];
+        // AP list1 @2 = 1.0 ; AP list2 @2 = (1/2)/1 = 0.5
+        assert!((map_at_k(&lists, 2) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,197 @@
+//! Class-imbalance sampling.
+//!
+//! Hate tweets are ~4% of the corpus (611/15,225 in the paper's training
+//! split), so Section VI-C applies "both upsampling of positive samples and
+//! downsampling of negative samples"; Table IV reports rows `DS` and
+//! `US+DS`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Randomly downsample the majority class to `ratio` × the minority count
+/// (ratio = 1.0 gives a balanced set). Returns new (x, y).
+pub fn downsample_majority(
+    x: &[Vec<f64>],
+    y: &[u8],
+    ratio: f64,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<u8>) {
+    assert_eq!(x.len(), y.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos_idx: Vec<usize> = (0..y.len()).filter(|&i| y[i] == 1).collect();
+    let neg_idx: Vec<usize> = (0..y.len()).filter(|&i| y[i] == 0).collect();
+    let (minority, mut majority) = if pos_idx.len() <= neg_idx.len() {
+        (pos_idx, neg_idx)
+    } else {
+        (neg_idx, pos_idx)
+    };
+    majority.shuffle(&mut rng);
+    let keep = ((minority.len() as f64 * ratio).round() as usize)
+        .max(1)
+        .min(majority.len());
+    majority.truncate(keep);
+
+    let mut all: Vec<usize> = minority.into_iter().chain(majority).collect();
+    all.shuffle(&mut rng);
+    materialize(x, y, &all)
+}
+
+/// Randomly upsample (sample with replacement) the minority class until it
+/// reaches `ratio` × the majority count. Returns new (x, y).
+pub fn upsample_minority(
+    x: &[Vec<f64>],
+    y: &[u8],
+    ratio: f64,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<u8>) {
+    assert_eq!(x.len(), y.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos_idx: Vec<usize> = (0..y.len()).filter(|&i| y[i] == 1).collect();
+    let neg_idx: Vec<usize> = (0..y.len()).filter(|&i| y[i] == 0).collect();
+    let (minority, majority) = if pos_idx.len() <= neg_idx.len() {
+        (pos_idx, neg_idx)
+    } else {
+        (neg_idx, pos_idx)
+    };
+    if minority.is_empty() {
+        return (x.to_vec(), y.to_vec());
+    }
+    let target = ((majority.len() as f64 * ratio).round() as usize).max(minority.len());
+    let mut all: Vec<usize> = majority;
+    all.extend(minority.iter().copied());
+    for _ in minority.len()..target {
+        all.push(minority[rng.gen_range(0..minority.len())]);
+    }
+    all.shuffle(&mut rng);
+    materialize(x, y, &all)
+}
+
+/// Upsample the minority then downsample the majority (the paper's `US+DS`
+/// treatment): minority drawn up to `us_ratio` × its own size, then
+/// majority cut to match the new minority count.
+pub fn upsample_then_downsample(
+    x: &[Vec<f64>],
+    y: &[u8],
+    us_ratio: f64,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos_idx: Vec<usize> = (0..y.len()).filter(|&i| y[i] == 1).collect();
+    let neg_idx: Vec<usize> = (0..y.len()).filter(|&i| y[i] == 0).collect();
+    let (minority, mut majority) = if pos_idx.len() <= neg_idx.len() {
+        (pos_idx, neg_idx)
+    } else {
+        (neg_idx, pos_idx)
+    };
+    if minority.is_empty() {
+        return (x.to_vec(), y.to_vec());
+    }
+    let target_min = ((minority.len() as f64 * us_ratio).round() as usize).max(minority.len());
+    let mut chosen: Vec<usize> = minority.clone();
+    for _ in minority.len()..target_min {
+        chosen.push(minority[rng.gen_range(0..minority.len())]);
+    }
+    majority.shuffle(&mut rng);
+    majority.truncate(target_min.min(majority.len()));
+    chosen.extend(majority);
+    chosen.shuffle(&mut rng);
+    materialize(x, y, &chosen)
+}
+
+fn materialize(x: &[Vec<f64>], y: &[u8], idx: &[usize]) -> (Vec<Vec<f64>>, Vec<u8>) {
+    (
+        idx.iter().map(|&i| x[i].clone()).collect(),
+        idx.iter().map(|&i| y[i]).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn imbalanced() -> (Vec<Vec<f64>>, Vec<u8>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            x.push(vec![i as f64]);
+            y.push(u8::from(i < 10)); // 10 positives, 90 negatives
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn downsample_balances() {
+        let (x, y) = imbalanced();
+        let (xs, ys) = downsample_majority(&x, &y, 1.0, 0);
+        let pos = ys.iter().filter(|&&l| l == 1).count();
+        let neg = ys.len() - pos;
+        assert_eq!(pos, 10);
+        assert_eq!(neg, 10);
+        assert_eq!(xs.len(), ys.len());
+    }
+
+    #[test]
+    fn downsample_keeps_all_minority() {
+        let (x, y) = imbalanced();
+        let (xs, ys) = downsample_majority(&x, &y, 2.0, 1);
+        let pos_vals: Vec<f64> = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(_, &l)| l == 1)
+            .map(|(r, _)| r[0])
+            .collect();
+        assert_eq!(pos_vals.len(), 10);
+        let neg = ys.iter().filter(|&&l| l == 0).count();
+        assert_eq!(neg, 20);
+    }
+
+    #[test]
+    fn upsample_reaches_ratio() {
+        let (x, y) = imbalanced();
+        let (_, ys) = upsample_minority(&x, &y, 1.0, 0);
+        let pos = ys.iter().filter(|&&l| l == 1).count();
+        let neg = ys.len() - pos;
+        assert_eq!(neg, 90);
+        assert_eq!(pos, 90);
+    }
+
+    #[test]
+    fn upsample_only_duplicates_minority() {
+        let (x, y) = imbalanced();
+        let (xs, ys) = upsample_minority(&x, &y, 0.5, 3);
+        for (r, &l) in xs.iter().zip(&ys) {
+            if l == 1 {
+                assert!(r[0] < 10.0, "upsampled positive must be an original positive");
+            }
+        }
+    }
+
+    #[test]
+    fn us_ds_balances_at_scaled_minority() {
+        let (x, y) = imbalanced();
+        let (_, ys) = upsample_then_downsample(&x, &y, 3.0, 0);
+        let pos = ys.iter().filter(|&&l| l == 1).count();
+        let neg = ys.len() - pos;
+        assert_eq!(pos, 30);
+        assert_eq!(neg, 30);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (x, y) = imbalanced();
+        let a = downsample_majority(&x, &y, 1.0, 7);
+        let b = downsample_majority(&x, &y, 1.0, 7);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn all_one_class_passthrough() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 0];
+        let (xs, ys) = upsample_minority(&x, &y, 1.0, 0);
+        assert_eq!(xs.len(), 2);
+        assert_eq!(ys, vec![0, 0]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Feature standardization (zero mean, unit variance), as applied before
+//! PCA and the margin-based classifiers.
+
+use crate::linalg::{column_means, column_stds};
+
+/// A fitted standard scaler.
+#[derive(Debug, Clone, Default)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit on a row-major matrix.
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        let means = column_means(x);
+        let mut stds = column_stds(x, &means);
+        // Constant columns scale to 0 after centering; avoid div-by-zero.
+        for s in &mut stds {
+            if *s == 0.0 {
+                *s = 1.0;
+            }
+        }
+        Self { means, stds }
+    }
+
+    /// Transform a single row.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((&v, &m), &s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Transform a batch.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.transform_row(r)).collect()
+    }
+
+    /// Fit and transform in one step.
+    pub fn fit_transform(x: &[Vec<f64>]) -> (Self, Vec<Vec<f64>>) {
+        let s = Self::fit(x);
+        let t = s.transform(x);
+        (s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let x = vec![vec![1.0], vec![3.0], vec![5.0]];
+        let (_, t) = StandardScaler::fit_transform(&x);
+        let mean: f64 = t.iter().map(|r| r[0]).sum::<f64>() / 3.0;
+        let var: f64 = t.iter().map(|r| r[0] * r[0]).sum::<f64>() / 3.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let x = vec![vec![7.0], vec![7.0]];
+        let (_, t) = StandardScaler::fit_transform(&x);
+        assert_eq!(t[0][0], 0.0);
+        assert_eq!(t[1][0], 0.0);
+    }
+
+    #[test]
+    fn transform_uses_training_stats() {
+        let x = vec![vec![0.0], vec![2.0]];
+        let s = StandardScaler::fit(&x);
+        let out = s.transform_row(&[4.0]);
+        // mean 1, std 1 -> (4-1)/1 = 3
+        assert!((out[0] - 3.0).abs() < 1e-12);
+    }
+}

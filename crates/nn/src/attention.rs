@@ -1,0 +1,367 @@
+//! Exogenous scaled dot-product attention — Eqs. 3–5 of the paper.
+//!
+//! Given the tweet feature `Xᵀ ∈ (batch × d_t)` and a news feature
+//! sequence `Xᴺ = {X₁ᴺ … X_kᴺ}` (each `batch × d_n`):
+//!
+//! ```text
+//! Q = Xᵀ·W_Q        K_i = X_iᴺ·W_K        V_i = X_iᴺ·W_V
+//! A[b,i] = softmax_i( (Q[b]·K_i[b]) / √hdim )
+//! Xᵀ'ᴺ[b] = Σ_i A[b,i] · V_i[b]
+//! ```
+//!
+//! The tweet representation *queries* the contemporary news stream and the
+//! attended value summary `Xᵀ'ᴺ` carries the exogenous signal into the
+//! predictor. All gradients are exact (verified by finite differences in
+//! the tests).
+
+use crate::param::Param;
+use crate::tensor::Matrix;
+
+/// The exogenous attention block of RETINA.
+#[derive(Debug, Clone)]
+pub struct ExogenousAttention {
+    /// Query kernel `d_t × h`.
+    pub wq: Param,
+    /// Key kernel `d_n × h`.
+    pub wk: Param,
+    /// Value kernel `d_n × h`.
+    pub wv: Param,
+    hdim: usize,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    xt: Matrix,
+    xn: Vec<Matrix>,
+    q: Matrix,
+    keys: Vec<Matrix>,
+    values: Vec<Matrix>,
+    attn: Matrix, // batch × k
+}
+
+impl ExogenousAttention {
+    /// Create with Xavier-initialized kernels.
+    pub fn new(tweet_dim: usize, news_dim: usize, hdim: usize, seed: u64) -> Self {
+        Self {
+            wq: Param::xavier(tweet_dim, hdim, seed),
+            wk: Param::xavier(news_dim, hdim, seed.wrapping_add(1)),
+            wv: Param::xavier(news_dim, hdim, seed.wrapping_add(2)),
+            hdim,
+            cache: None,
+        }
+    }
+
+    /// Attention output dimensionality (= hdim).
+    pub fn out_dim(&self) -> usize {
+        self.hdim
+    }
+
+    /// Forward pass. `xn` must be non-empty and each element must have the
+    /// same batch size as `xt`.
+    pub fn forward(&mut self, xt: &Matrix, xn: &[Matrix]) -> Matrix {
+        assert!(!xn.is_empty(), "attention needs at least one news item");
+        let batch = xt.rows();
+        let k = xn.len();
+        let scale = 1.0 / (self.hdim as f64).sqrt();
+
+        let q = xt.matmul(&self.wq.value);
+        let keys: Vec<Matrix> = xn.iter().map(|n| n.matmul(&self.wk.value)).collect();
+        let values: Vec<Matrix> = xn.iter().map(|n| n.matmul(&self.wv.value)).collect();
+
+        let mut logits = Matrix::zeros(batch, k);
+        for (i, key) in keys.iter().enumerate() {
+            for b in 0..batch {
+                let s: f64 = q.row(b).iter().zip(key.row(b)).map(|(a, c)| a * c).sum();
+                logits.set(b, i, s * scale);
+            }
+        }
+        let attn = logits.softmax_rows();
+
+        let mut out = Matrix::zeros(batch, self.hdim);
+        for (i, value) in values.iter().enumerate() {
+            for b in 0..batch {
+                let a = attn.get(b, i);
+                let orow = out.row_mut(b);
+                for (o, &v) in orow.iter_mut().zip(value.row(b)) {
+                    *o += a * v;
+                }
+            }
+        }
+
+        self.cache = Some(Cache {
+            xt: xt.clone(),
+            xn: xn.to_vec(),
+            q,
+            keys,
+            values,
+            attn,
+        });
+        out
+    }
+
+    /// The attention weights of the last forward pass (`batch × k`).
+    pub fn attention_weights(&self) -> Option<&Matrix> {
+        self.cache.as_ref().map(|c| &c.attn)
+    }
+
+    /// Backward pass: accumulate kernel gradients; return
+    /// `(d xt, d xn)`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> (Matrix, Vec<Matrix>) {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let batch = cache.xt.rows();
+        let k = cache.xn.len();
+        let scale = 1.0 / (self.hdim as f64).sqrt();
+
+        // dV_i[b] = A[b,i]·gOut[b] ;  dA[b,i] = gOut[b]·V_i[b]
+        let mut d_values: Vec<Matrix> = Vec::with_capacity(k);
+        let mut d_attn = Matrix::zeros(batch, k);
+        for i in 0..k {
+            let mut dv = Matrix::zeros(batch, self.hdim);
+            for b in 0..batch {
+                let a = cache.attn.get(b, i);
+                let g = grad_out.row(b);
+                let dvrow = dv.row_mut(b);
+                let vrow = cache.values[i].row(b);
+                let mut da = 0.0;
+                for ((dvv, &gv), &vv) in dvrow.iter_mut().zip(g).zip(vrow) {
+                    *dvv = a * gv;
+                    da += gv * vv;
+                }
+                d_attn.set(b, i, da);
+            }
+            d_values.push(dv);
+        }
+
+        // Softmax backward per row: dL[b,i] = A[b,i](dA[b,i] − Σ_j A dA).
+        let mut d_logits = Matrix::zeros(batch, k);
+        for b in 0..batch {
+            let dot: f64 = (0..k)
+                .map(|j| cache.attn.get(b, j) * d_attn.get(b, j))
+                .sum();
+            for i in 0..k {
+                d_logits.set(
+                    b,
+                    i,
+                    cache.attn.get(b, i) * (d_attn.get(b, i) - dot),
+                );
+            }
+        }
+
+        // Through the scaled dot product.
+        let mut dq = Matrix::zeros(batch, self.hdim);
+        let mut d_keys: Vec<Matrix> = (0..k).map(|_| Matrix::zeros(batch, self.hdim)).collect();
+        for i in 0..k {
+            for b in 0..batch {
+                let ds = d_logits.get(b, i) * scale;
+                let qrow = cache.q.row(b);
+                let krow = cache.keys[i].row(b);
+                {
+                    let dqrow = dq.row_mut(b);
+                    for (dqv, &kv) in dqrow.iter_mut().zip(krow) {
+                        *dqv += ds * kv;
+                    }
+                }
+                let dkrow = d_keys[i].row_mut(b);
+                for (dkv, &qv) in dkrow.iter_mut().zip(qrow) {
+                    *dkv += ds * qv;
+                }
+            }
+        }
+
+        // Kernel and input gradients.
+        self.wq.grad.add_assign(&cache.xt.t_matmul(&dq));
+        let d_xt = dq.matmul_t(&self.wq.value);
+
+        let mut d_xn = Vec::with_capacity(k);
+        for i in 0..k {
+            self.wk.grad.add_assign(&cache.xn[i].t_matmul(&d_keys[i]));
+            self.wv.grad.add_assign(&cache.xn[i].t_matmul(&d_values[i]));
+            let dn = d_keys[i]
+                .matmul_t(&self.wk.value)
+                .add(&d_values[i].matmul_t(&self.wv.value));
+            d_xn.push(dn);
+        }
+
+        (d_xt, d_xn)
+    }
+
+    /// Trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wq, &mut self.wk, &mut self.wv]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ExogenousAttention, Matrix, Vec<Matrix>) {
+        let att = ExogenousAttention::new(3, 4, 5, 7);
+        let xt = Matrix::xavier_seeded(2, 3, 11).scaled(3.0);
+        let xn: Vec<Matrix> = (0..4)
+            .map(|i| Matrix::xavier_seeded(2, 4, 20 + i).scaled(3.0))
+            .collect();
+        (att, xt, xn)
+    }
+
+    fn probe(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            (((r * 31 + c * 17 + 3) as f64) * 0.618).sin()
+        })
+    }
+
+    fn loss(att: &mut ExogenousAttention, xt: &Matrix, xn: &[Matrix]) -> f64 {
+        let y = att.forward(xt, xn);
+        let c = probe(y.rows(), y.cols());
+        y.hadamard(&c).sum()
+    }
+
+    #[test]
+    fn attention_weights_form_simplex() {
+        let (mut att, xt, xn) = setup();
+        let _ = att.forward(&xt, &xn);
+        let a = att.attention_weights().unwrap();
+        for b in 0..a.rows() {
+            let s: f64 = a.row(b).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(a.row(b).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn output_shape() {
+        let (mut att, xt, xn) = setup();
+        let y = att.forward(&xt, &xn);
+        assert_eq!((y.rows(), y.cols()), (2, 5));
+    }
+
+    #[test]
+    fn gradcheck_xt() {
+        let (mut att, xt, xn) = setup();
+        let y = att.forward(&xt, &xn);
+        let c = probe(y.rows(), y.cols());
+        let (dxt, _) = att.backward(&c);
+        let eps = 1e-6;
+        for r in 0..xt.rows() {
+            for cc in 0..xt.cols() {
+                let mut xp = xt.clone();
+                xp.set(r, cc, xt.get(r, cc) + eps);
+                let lp = loss(&mut att, &xp, &xn);
+                xp.set(r, cc, xt.get(r, cc) - eps);
+                let lm = loss(&mut att, &xp, &xn);
+                let num = (lp - lm) / (2.0 * eps);
+                let ana = dxt.get(r, cc);
+                assert!(
+                    (num - ana).abs() < 1e-5 + 1e-4 * num.abs().max(ana.abs()),
+                    "dxt[{r},{cc}] numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradcheck_xn() {
+        let (mut att, xt, xn) = setup();
+        let y = att.forward(&xt, &xn);
+        let c = probe(y.rows(), y.cols());
+        let (_, dxn) = att.backward(&c);
+        let eps = 1e-6;
+        for i in 0..xn.len() {
+            for r in 0..xn[i].rows() {
+                for cc in 0..xn[i].cols() {
+                    let mut xnp = xn.clone();
+                    xnp[i].set(r, cc, xn[i].get(r, cc) + eps);
+                    let lp = loss(&mut att, &xt, &xnp);
+                    xnp[i].set(r, cc, xn[i].get(r, cc) - eps);
+                    let lm = loss(&mut att, &xt, &xnp);
+                    let num = (lp - lm) / (2.0 * eps);
+                    let ana = dxn[i].get(r, cc);
+                    assert!(
+                        (num - ana).abs() < 1e-5 + 1e-4 * num.abs().max(ana.abs()),
+                        "dxn[{i}][{r},{cc}] numeric {num} vs analytic {ana}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradcheck_kernels() {
+        let (mut att, xt, xn) = setup();
+        for p in att.params_mut() {
+            p.zero_grad();
+        }
+        let y = att.forward(&xt, &xn);
+        let c = probe(y.rows(), y.cols());
+        let _ = att.backward(&c);
+        let grads: Vec<Vec<f64>> = att
+            .params_mut()
+            .iter()
+            .map(|p| p.grad.data().to_vec())
+            .collect();
+        let eps = 1e-6;
+        for pi in 0..3 {
+            let (rows, cols) = {
+                let ps = att.params_mut();
+                (ps[pi].value.rows(), ps[pi].value.cols())
+            };
+            for r in 0..rows {
+                for cc in 0..cols {
+                    let orig = {
+                        let ps = att.params_mut();
+                        ps[pi].value.get(r, cc)
+                    };
+                    {
+                        let mut ps = att.params_mut();
+                        ps[pi].value.set(r, cc, orig + eps);
+                    }
+                    let lp = loss(&mut att, &xt, &xn);
+                    {
+                        let mut ps = att.params_mut();
+                        ps[pi].value.set(r, cc, orig - eps);
+                    }
+                    let lm = loss(&mut att, &xt, &xn);
+                    {
+                        let mut ps = att.params_mut();
+                        ps[pi].value.set(r, cc, orig);
+                    }
+                    let num = (lp - lm) / (2.0 * eps);
+                    let ana = grads[pi][r * cols + cc];
+                    assert!(
+                        (num - ana).abs() < 1e-5 + 1e-4 * num.abs().max(ana.abs()),
+                        "kernel {pi} grad[{r},{cc}] numeric {num} vs analytic {ana}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attention_focuses_on_matching_news() {
+        // Make one news item align with the tweet in input space and use
+        // (near-)identity kernels: its attention weight should dominate.
+        let mut att = ExogenousAttention::new(4, 4, 4, 0);
+        let eye = Matrix::from_fn(4, 4, |r, c| if r == c { 5.0 } else { 0.0 });
+        att.wq.value = eye.clone();
+        att.wk.value = eye;
+        let xt = Matrix::from_vec(1, 4, vec![1.0, 0.0, 0.0, 0.0]);
+        let aligned = Matrix::from_vec(1, 4, vec![1.0, 0.0, 0.0, 0.0]);
+        let orthogonal = Matrix::from_vec(1, 4, vec![0.0, 1.0, 0.0, 0.0]);
+        let _ = att.forward(&xt, &[orthogonal, aligned]);
+        let a = att.attention_weights().unwrap();
+        assert!(
+            a.get(0, 1) > 0.9,
+            "aligned news should dominate, got {:?}",
+            a.row(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one news item")]
+    fn empty_news_panics() {
+        let mut att = ExogenousAttention::new(2, 2, 2, 0);
+        let xt = Matrix::zeros(1, 2);
+        let _ = att.forward(&xt, &[]);
+    }
+}

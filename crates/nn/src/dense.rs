@@ -1,0 +1,106 @@
+//! Fully-connected layer `y = x·W + b`.
+
+use crate::param::Param;
+use crate::tensor::Matrix;
+
+/// A dense (feed-forward) layer.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// `in × out` weight.
+    pub w: Param,
+    /// `1 × out` bias.
+    pub b: Param,
+    /// Cached input for backward.
+    cache_x: Option<Matrix>,
+}
+
+impl Dense {
+    /// Create with Xavier weights.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Self {
+            w: Param::xavier(in_dim, out_dim, seed),
+            b: Param::zeros(1, out_dim),
+            cache_x: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Forward pass, caching the input.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let out = x.matmul(&self.w.value).add_row_broadcast(&self.b.value);
+        self.cache_x = Some(x.clone());
+        out
+    }
+
+    /// Forward without caching (inference).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.w.value).add_row_broadcast(&self.b.value)
+    }
+
+    /// Backward pass: accumulate dW, db; return dx.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self
+            .cache_x
+            .as_ref()
+            .expect("backward called before forward");
+        // dW = xᵀ · g ; db = Σ_rows g ; dx = g · Wᵀ
+        self.w.grad.add_assign(&x.t_matmul(grad_out));
+        self.b.grad.add_assign(&grad_out.sum_rows());
+        grad_out.matmul_t(&self.w.value)
+    }
+
+    /// Trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+
+    #[test]
+    fn forward_shape_and_value() {
+        let mut d = Dense::new(2, 3, 0);
+        // Set known weights.
+        d.w.value = Matrix::from_vec(2, 3, vec![1., 0., 2., 0., 1., 1.]);
+        d.b.value = Matrix::from_vec(1, 3, vec![0.5, -0.5, 0.0]);
+        let x = Matrix::from_vec(1, 2, vec![2., 3.]);
+        let y = d.forward(&x);
+        assert_eq!(y.data(), &[2.5, 2.5, 7.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut d = Dense::new(4, 3, 1);
+        let x = Matrix::xavier_seeded(5, 4, 2);
+        check_gradients(
+            &x,
+            |layer: &mut Dense, input| layer.forward(input),
+            |layer, g| layer.backward(g),
+            |layer| layer.params_mut(),
+            &mut d,
+            1e-5,
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn inference_matches_training_forward() {
+        let mut d = Dense::new(3, 2, 3);
+        let x = Matrix::xavier_seeded(4, 3, 4);
+        let a = d.forward(&x);
+        let b = d.forward_inference(&x);
+        assert_eq!(a, b);
+    }
+}

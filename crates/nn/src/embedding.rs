@@ -1,0 +1,124 @@
+//! Embedding lookup table with gather/scatter gradients.
+//!
+//! Used by the neural diffusion baselines (TopoLSTM / FOREST / HIDAN) to
+//! learn per-user vectors.
+
+use crate::param::Param;
+use crate::tensor::Matrix;
+
+/// A trainable `vocab × dim` embedding table.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// The table.
+    pub table: Param,
+    cache_ids: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Create with small random values.
+    pub fn new(vocab: usize, dim: usize, seed: u64) -> Self {
+        Self {
+            table: Param::new(Matrix::xavier_seeded(vocab, dim, seed).scaled(0.5)),
+            cache_ids: None,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.value.rows()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.table.value.cols()
+    }
+
+    /// Gather rows for a batch of ids -> `len × dim` matrix.
+    pub fn forward(&mut self, ids: &[usize]) -> Matrix {
+        let out = self.forward_inference(ids);
+        self.cache_ids = Some(ids.to_vec());
+        out
+    }
+
+    /// Gather without caching.
+    pub fn forward_inference(&self, ids: &[usize]) -> Matrix {
+        let dim = self.dim();
+        Matrix::from_fn(ids.len(), dim, |r, c| self.table.value.get(ids[r], c))
+    }
+
+    /// Scatter-add the output gradient back into the table gradient.
+    pub fn backward(&mut self, grad_out: &Matrix) {
+        let ids = self
+            .cache_ids
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(grad_out.rows(), ids.len());
+        for (r, &id) in ids.iter().enumerate() {
+            let grow = grad_out.row(r);
+            let trow = self.table.grad.row_mut(id);
+            for (t, &g) in trow.iter_mut().zip(grow) {
+                *t += g;
+            }
+        }
+    }
+
+    /// A single row of the table (read-only convenience).
+    pub fn vector(&self, id: usize) -> &[f64] {
+        self.table.value.row(id)
+    }
+
+    /// Trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_returns_right_rows() {
+        let mut e = Embedding::new(5, 3, 0);
+        let m = e.forward(&[2, 4, 2]);
+        assert_eq!(m.row(0), e.vector(2));
+        assert_eq!(m.row(1), e.vector(4));
+        assert_eq!(m.row(2), e.vector(2));
+    }
+
+    #[test]
+    fn scatter_accumulates_duplicates() {
+        let mut e = Embedding::new(4, 2, 1);
+        let _ = e.forward(&[1, 1]);
+        let g = Matrix::from_vec(2, 2, vec![1.0, 2.0, 10.0, 20.0]);
+        e.backward(&g);
+        assert_eq!(e.table.grad.row(1), &[11.0, 22.0]);
+        assert_eq!(e.table.grad.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut e = Embedding::new(3, 2, 2);
+        let ids = [0usize, 2, 0];
+        let probe = Matrix::from_vec(3, 2, vec![0.3, -0.7, 1.1, 0.2, -0.5, 0.9]);
+        for p in e.params_mut() {
+            p.zero_grad();
+        }
+        let _ = e.forward(&ids);
+        e.backward(&probe);
+        let ana = e.table.grad.clone();
+        let eps = 1e-6;
+        for r in 0..3 {
+            for c in 0..2 {
+                let orig = e.table.value.get(r, c);
+                e.table.value.set(r, c, orig + eps);
+                let lp = e.forward_inference(&ids).hadamard(&probe).sum();
+                e.table.value.set(r, c, orig - eps);
+                let lm = e.forward_inference(&ids).hadamard(&probe).sum();
+                e.table.value.set(r, c, orig);
+                let num = (lp - lm) / (2.0 * eps);
+                assert!((num - ana.get(r, c)).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Weighted binary cross-entropy — Eq. 6 of the paper:
+//!
+//! `L = −w·t·log(p) − (1−t)·log(1−p)`
+//!
+//! where `w` up-weights positive samples to counter class imbalance. The
+//! paper sets `w = λ(log C − log C⁺)` with `C`/`C⁺` total/positive training
+//! counts and λ swept over 1.0..2.5 (Section VI-D). We compute the loss on
+//! *logits* (`p = σ(z)`) for numerical stability:
+//!
+//! `L = w·t·softplus(−z) + (1−t)·softplus(z)`,
+//! `∂L/∂z = (w·t)(σ(z)−1) + (1−t)·σ(z)`.
+
+use crate::activation::stable_sigmoid;
+use crate::tensor::Matrix;
+
+/// Weighted BCE computed on logits.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedBce {
+    /// Weight on positive samples (`w` in Eq. 6).
+    pub pos_weight: f64,
+}
+
+impl WeightedBce {
+    /// Unweighted BCE.
+    pub fn unweighted() -> Self {
+        Self { pos_weight: 1.0 }
+    }
+
+    /// The paper's weighting: `w = λ(ln C − ln C⁺)`.
+    pub fn from_counts(total: usize, positives: usize, lambda: f64) -> Self {
+        let total = total.max(1) as f64;
+        let pos = positives.max(1) as f64;
+        Self {
+            pos_weight: (lambda * (total.ln() - pos.ln())).max(1.0),
+        }
+    }
+
+    /// Mean loss over all entries. `targets` entries must be 0.0 or 1.0.
+    pub fn loss(&self, logits: &Matrix, targets: &Matrix) -> f64 {
+        assert_eq!(
+            (logits.rows(), logits.cols()),
+            (targets.rows(), targets.cols())
+        );
+        let n = (logits.rows() * logits.cols()) as f64;
+        logits
+            .data()
+            .iter()
+            .zip(targets.data())
+            .map(|(&z, &t)| self.pos_weight * t * softplus(-z) + (1.0 - t) * softplus(z))
+            .sum::<f64>()
+            / n
+    }
+
+    /// Gradient of the mean loss w.r.t. the logits.
+    pub fn grad(&self, logits: &Matrix, targets: &Matrix) -> Matrix {
+        let n = (logits.rows() * logits.cols()) as f64;
+        logits.zip(targets, |z, t| {
+            (self.pos_weight * t * (stable_sigmoid(z) - 1.0) + (1.0 - t) * stable_sigmoid(z)) / n
+        })
+    }
+}
+
+/// Numerically-stable `ln(1 + eˣ)`.
+fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_bce() {
+        let loss = WeightedBce::unweighted();
+        let z = Matrix::from_vec(1, 2, vec![0.3, -1.2]);
+        let t = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let naive = {
+            let p1 = stable_sigmoid(0.3);
+            let p2 = stable_sigmoid(-1.2);
+            (-(p1.ln()) - (1.0f64 - p2).ln()) / 2.0
+        };
+        assert!((loss.loss(&z, &t) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let loss = WeightedBce { pos_weight: 2.5 };
+        let z = Matrix::from_vec(2, 2, vec![0.5, -0.8, 1.5, -2.0]);
+        let t = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let g = loss.grad(&z, &t);
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut zp = z.clone();
+                zp.set(r, c, z.get(r, c) + eps);
+                let lp = loss.loss(&zp, &t);
+                zp.set(r, c, z.get(r, c) - eps);
+                let lm = loss.loss(&zp, &t);
+                let num = (lp - lm) / (2.0 * eps);
+                assert!((num - g.get(r, c)).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn pos_weight_scales_positive_term_only() {
+        let z = Matrix::from_vec(1, 1, vec![0.0]);
+        let t_pos = Matrix::from_vec(1, 1, vec![1.0]);
+        let t_neg = Matrix::from_vec(1, 1, vec![0.0]);
+        let l1 = WeightedBce::unweighted();
+        let l3 = WeightedBce { pos_weight: 3.0 };
+        assert!((l3.loss(&z, &t_pos) - 3.0 * l1.loss(&z, &t_pos)).abs() < 1e-12);
+        assert!((l3.loss(&z, &t_neg) - l1.loss(&z, &t_neg)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_counts_formula() {
+        // w = λ(ln C − ln C⁺) = 2(ln 1000 − ln 10) = 2 ln 100
+        let w = WeightedBce::from_counts(1000, 10, 2.0);
+        assert!((w.pos_weight - 2.0 * 100.0f64.ln()).abs() < 1e-12);
+        // Never below 1 (balanced data).
+        let w2 = WeightedBce::from_counts(100, 100, 1.0);
+        assert_eq!(w2.pos_weight, 1.0);
+    }
+
+    #[test]
+    fn extreme_logits_finite() {
+        let loss = WeightedBce::unweighted();
+        let z = Matrix::from_vec(1, 2, vec![1000.0, -1000.0]);
+        let t = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        assert!(loss.loss(&z, &t).is_finite());
+        assert!(loss.grad(&z, &t).data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,234 @@
+//! LSTM layer — the paper reports "no gain with LSTM" over the GRU head
+//! of RETINA-D; this implementation backs that ablation
+//! (`exp_table6 --recurrent-sweep`). Standard formulation:
+//!
+//! ```text
+//! i_t = σ(x·W_i + h·U_i + b_i)      f_t = σ(x·W_f + h·U_f + b_f)
+//! o_t = σ(x·W_o + h·U_o + b_o)      g_t = tanh(x·W_g + h·U_g + b_g)
+//! c_t = f_t ⊙ c_{t−1} + i_t ⊙ g_t   h_t = o_t ⊙ tanh(c_t)
+//! ```
+
+use crate::activation::stable_sigmoid;
+use crate::param::Param;
+use crate::tensor::Matrix;
+
+/// A single-layer LSTM.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    pub wi: Param,
+    pub ui: Param,
+    pub bi: Param,
+    pub wf: Param,
+    pub uf: Param,
+    pub bf: Param,
+    pub wo: Param,
+    pub uo: Param,
+    pub bo: Param,
+    pub wg: Param,
+    pub ug: Param,
+    pub bg: Param,
+    in_dim: usize,
+    hidden: usize,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    xs: Vec<Matrix>,
+    hs: Vec<Matrix>,
+    cs: Vec<Matrix>,
+    is_: Vec<Matrix>,
+    fs: Vec<Matrix>,
+    os: Vec<Matrix>,
+    gs: Vec<Matrix>,
+}
+
+impl Lstm {
+    /// Create with Xavier weights. Forget-gate bias starts at 1 (standard
+    /// trick for gradient flow).
+    pub fn new(in_dim: usize, hidden: usize, seed: u64) -> Self {
+        let p = |i: u64, r: usize, c: usize| Param::xavier(r, c, seed.wrapping_add(i));
+        let mut bf = Param::zeros(1, hidden);
+        bf.value = Matrix::from_fn(1, hidden, |_, _| 1.0);
+        Self {
+            wi: p(0, in_dim, hidden),
+            ui: p(1, hidden, hidden),
+            bi: Param::zeros(1, hidden),
+            wf: p(2, in_dim, hidden),
+            uf: p(3, hidden, hidden),
+            bf,
+            wo: p(4, in_dim, hidden),
+            uo: p(5, hidden, hidden),
+            bo: Param::zeros(1, hidden),
+            wg: p(6, in_dim, hidden),
+            ug: p(7, hidden, hidden),
+            bg: Param::zeros(1, hidden),
+            in_dim,
+            hidden,
+            cache: None,
+        }
+    }
+
+    /// Hidden dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Forward over a sequence; returns `h_1..h_T`.
+    pub fn forward(&mut self, xs: &[Matrix]) -> Vec<Matrix> {
+        assert!(!xs.is_empty(), "LSTM needs a non-empty sequence");
+        let batch = xs[0].rows();
+        let mut hs = vec![Matrix::zeros(batch, self.hidden)];
+        let mut cs = vec![Matrix::zeros(batch, self.hidden)];
+        let (mut is_, mut fs, mut os, mut gs) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+
+        for x in xs {
+            let h_prev = hs.last().unwrap();
+            let c_prev = cs.last().unwrap();
+            let gate = |w: &Param, u: &Param, b: &Param| {
+                x.matmul(&w.value)
+                    .add(&h_prev.matmul(&u.value))
+                    .add_row_broadcast(&b.value)
+            };
+            let i = gate(&self.wi, &self.ui, &self.bi).map(stable_sigmoid);
+            let f = gate(&self.wf, &self.uf, &self.bf).map(stable_sigmoid);
+            let o = gate(&self.wo, &self.uo, &self.bo).map(stable_sigmoid);
+            let g = gate(&self.wg, &self.ug, &self.bg).map(f64::tanh);
+            let c = f.hadamard(c_prev).add(&i.hadamard(&g));
+            let h = o.hadamard(&c.map(f64::tanh));
+            is_.push(i);
+            fs.push(f);
+            os.push(o);
+            gs.push(g);
+            cs.push(c);
+            hs.push(h);
+        }
+        let out = hs[1..].to_vec();
+        self.cache = Some(Cache {
+            xs: xs.to_vec(),
+            hs,
+            cs,
+            is_,
+            fs,
+            os,
+            gs,
+        });
+        out
+    }
+
+    /// Full BPTT backward. Returns input gradients.
+    pub fn backward(&mut self, grad_hs: &[Matrix]) -> Vec<Matrix> {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let t_len = cache.xs.len();
+        assert_eq!(grad_hs.len(), t_len);
+        let batch = cache.xs[0].rows();
+        let mut dxs = vec![Matrix::zeros(batch, self.in_dim); t_len];
+        let mut dh_next = Matrix::zeros(batch, self.hidden);
+        let mut dc_next = Matrix::zeros(batch, self.hidden);
+
+        for t in (0..t_len).rev() {
+            let dh = grad_hs[t].add(&dh_next);
+            let c = &cache.cs[t + 1];
+            let c_prev = &cache.cs[t];
+            let h_prev = &cache.hs[t];
+            let x = &cache.xs[t];
+            let (i, f, o, g) = (&cache.is_[t], &cache.fs[t], &cache.os[t], &cache.gs[t]);
+
+            let tanh_c = c.map(f64::tanh);
+            let do_ = dh.hadamard(&tanh_c);
+            let mut dc = dh
+                .hadamard(o)
+                .zip(&tanh_c, |v, tc| v * (1.0 - tc * tc));
+            dc.add_assign(&dc_next);
+
+            let di = dc.hadamard(g);
+            let dg = dc.hadamard(i);
+            let df = dc.hadamard(c_prev);
+            dc_next = dc.hadamard(f);
+
+            let di_raw = di.zip(i, |v, s| v * s * (1.0 - s));
+            let df_raw = df.zip(f, |v, s| v * s * (1.0 - s));
+            let do_raw = do_.zip(o, |v, s| v * s * (1.0 - s));
+            let dg_raw = dg.zip(g, |v, s| v * (1.0 - s * s));
+
+            let acc = |w: &mut Param, u: &mut Param, b: &mut Param, raw: &Matrix| {
+                w.grad.add_assign(&x.t_matmul(raw));
+                u.grad.add_assign(&h_prev.t_matmul(raw));
+                b.grad.add_assign(&raw.sum_rows());
+            };
+            acc(&mut self.wi, &mut self.ui, &mut self.bi, &di_raw);
+            acc(&mut self.wf, &mut self.uf, &mut self.bf, &df_raw);
+            acc(&mut self.wo, &mut self.uo, &mut self.bo, &do_raw);
+            acc(&mut self.wg, &mut self.ug, &mut self.bg, &dg_raw);
+
+            dh_next = di_raw
+                .matmul_t(&self.ui.value)
+                .add(&df_raw.matmul_t(&self.uf.value))
+                .add(&do_raw.matmul_t(&self.uo.value))
+                .add(&dg_raw.matmul_t(&self.ug.value));
+
+            dxs[t] = di_raw
+                .matmul_t(&self.wi.value)
+                .add(&df_raw.matmul_t(&self.wf.value))
+                .add(&do_raw.matmul_t(&self.wo.value))
+                .add(&dg_raw.matmul_t(&self.wg.value));
+        }
+        dxs
+    }
+
+    /// Trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.wi,
+            &mut self.ui,
+            &mut self.bi,
+            &mut self.wf,
+            &mut self.uf,
+            &mut self.bf,
+            &mut self.wo,
+            &mut self.uo,
+            &mut self.bo,
+            &mut self.wg,
+            &mut self.ug,
+            &mut self.bg,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::seq::check_recurrent_gradients;
+
+    #[test]
+    fn output_shapes() {
+        let mut lstm = Lstm::new(3, 4, 0);
+        let xs: Vec<Matrix> = (0..4).map(|i| Matrix::xavier_seeded(2, 3, i)).collect();
+        let hs = lstm.forward(&xs);
+        assert_eq!(hs.len(), 4);
+        assert_eq!((hs[0].rows(), hs[0].cols()), (2, 4));
+    }
+
+    #[test]
+    fn gradcheck_full_bptt() {
+        let mut lstm = Lstm::new(3, 4, 5);
+        let xs: Vec<Matrix> = (0..3)
+            .map(|i| Matrix::xavier_seeded(2, 3, 60 + i).scaled(2.0))
+            .collect();
+        check_recurrent_gradients(
+            &xs,
+            |l: &mut Lstm, seq| l.forward(seq),
+            |l, g| l.backward(g),
+            |l| l.params_mut(),
+            &mut lstm,
+            1e-6,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let lstm = Lstm::new(2, 3, 0);
+        assert!(lstm.bf.value.data().iter().all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,75 @@
+//! Trainable parameters: value + accumulated gradient + Adam moments.
+
+use crate::tensor::Matrix;
+
+/// A trainable parameter tensor.
+///
+/// The gradient is *accumulated* by `backward` passes and must be cleared
+/// with [`Param::zero_grad`] between steps (the optimizers do this after
+/// applying an update).
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Matrix,
+    /// Adam first moment.
+    pub(crate) m: Matrix,
+    /// Adam second moment.
+    pub(crate) v: Matrix,
+}
+
+impl Param {
+    /// Wrap an initial value.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        let m = grad.clone();
+        let v = grad.clone();
+        Self { value, grad, m, v }
+    }
+
+    /// Xavier-initialized parameter.
+    pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
+        Self::new(Matrix::xavier_seeded(rows, cols, seed))
+    }
+
+    /// Zero-initialized parameter (biases).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::new(Matrix::zeros(rows, cols))
+    }
+
+    /// Clear the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar weights.
+    pub fn len(&self) -> usize {
+        self.value.rows() * self.value.cols()
+    }
+
+    /// True for an empty parameter (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::xavier(3, 4, 0);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.len(), 12);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::zeros(2, 2);
+        p.grad.set(0, 0, 5.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Simple (Elman) RNN — the paper reports "performance degraded with
+//! simple RNN" vs the GRU head of RETINA-D; this backs that ablation.
+//!
+//! `h_t = tanh(x_t·W + h_{t−1}·U + b)`
+
+use crate::param::Param;
+use crate::tensor::Matrix;
+
+/// A single-layer tanh RNN.
+#[derive(Debug, Clone)]
+pub struct SimpleRnn {
+    pub w: Param,
+    pub u: Param,
+    pub b: Param,
+    in_dim: usize,
+    hidden: usize,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    xs: Vec<Matrix>,
+    hs: Vec<Matrix>,
+}
+
+impl SimpleRnn {
+    /// Create with Xavier weights.
+    pub fn new(in_dim: usize, hidden: usize, seed: u64) -> Self {
+        Self {
+            w: Param::xavier(in_dim, hidden, seed),
+            u: Param::xavier(hidden, hidden, seed.wrapping_add(1)),
+            b: Param::zeros(1, hidden),
+            in_dim,
+            hidden,
+            cache: None,
+        }
+    }
+
+    /// Hidden dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Forward over a sequence; returns `h_1..h_T`.
+    pub fn forward(&mut self, xs: &[Matrix]) -> Vec<Matrix> {
+        assert!(!xs.is_empty(), "RNN needs a non-empty sequence");
+        let batch = xs[0].rows();
+        let mut hs = vec![Matrix::zeros(batch, self.hidden)];
+        for x in xs {
+            let h_prev = hs.last().unwrap();
+            let h = x
+                .matmul(&self.w.value)
+                .add(&h_prev.matmul(&self.u.value))
+                .add_row_broadcast(&self.b.value)
+                .map(f64::tanh);
+            hs.push(h);
+        }
+        let out = hs[1..].to_vec();
+        self.cache = Some(Cache {
+            xs: xs.to_vec(),
+            hs,
+        });
+        out
+    }
+
+    /// Full BPTT backward. Returns input gradients.
+    pub fn backward(&mut self, grad_hs: &[Matrix]) -> Vec<Matrix> {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let t_len = cache.xs.len();
+        assert_eq!(grad_hs.len(), t_len);
+        let batch = cache.xs[0].rows();
+        let mut dxs = vec![Matrix::zeros(batch, self.in_dim); t_len];
+        let mut dh_next = Matrix::zeros(batch, self.hidden);
+
+        for t in (0..t_len).rev() {
+            let dh = grad_hs[t].add(&dh_next);
+            let h = &cache.hs[t + 1];
+            let h_prev = &cache.hs[t];
+            let x = &cache.xs[t];
+            let dr = dh.zip(h, |g, hv| g * (1.0 - hv * hv));
+            self.w.grad.add_assign(&x.t_matmul(&dr));
+            self.u.grad.add_assign(&h_prev.t_matmul(&dr));
+            self.b.grad.add_assign(&dr.sum_rows());
+            dh_next = dr.matmul_t(&self.u.value);
+            dxs[t] = dr.matmul_t(&self.w.value);
+        }
+        dxs
+    }
+
+    /// Trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.u, &mut self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::seq::check_recurrent_gradients;
+
+    #[test]
+    fn output_shapes() {
+        let mut rnn = SimpleRnn::new(2, 3, 0);
+        let xs: Vec<Matrix> = (0..4).map(|i| Matrix::xavier_seeded(2, 2, i)).collect();
+        let hs = rnn.forward(&xs);
+        assert_eq!(hs.len(), 4);
+        assert_eq!((hs[0].rows(), hs[0].cols()), (2, 3));
+    }
+
+    #[test]
+    fn gradcheck_full_bptt() {
+        let mut rnn = SimpleRnn::new(3, 4, 5);
+        let xs: Vec<Matrix> = (0..4)
+            .map(|i| Matrix::xavier_seeded(2, 3, 70 + i).scaled(2.0))
+            .collect();
+        check_recurrent_gradients(
+            &xs,
+            |l: &mut SimpleRnn, seq| l.forward(seq),
+            |l, g| l.backward(g),
+            |l| l.params_mut(),
+            &mut rnn,
+            1e-6,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn outputs_bounded_by_tanh() {
+        let mut rnn = SimpleRnn::new(2, 3, 1);
+        let xs = vec![Matrix::from_vec(1, 2, vec![100.0, -100.0])];
+        let hs = rnn.forward(&xs);
+        assert!(hs[0].data().iter().all(|v| v.abs() <= 1.0));
+    }
+}

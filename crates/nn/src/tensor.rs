@@ -1,0 +1,395 @@
+//! Dense row-major matrices (`batch × features`) — the only tensor shape
+//! the RETINA models need; sequences are `Vec<Matrix>`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a closure over (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Build from a flat row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Build from nested rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Xavier/Glorot-uniform initialization: `U(±sqrt(6/(fan_in+fan_out)))`.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let bound = (6.0 / (rows + cols) as f64).sqrt();
+        Self::from_fn(rows, cols, |_, _| rng.gen_range(-bound..bound))
+    }
+
+    /// Xavier init from a seed (convenience).
+    pub fn xavier_seeded(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::xavier(rows, cols, &mut rng)
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A row as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat data access.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable data access.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix product `self (r×k) · other (k×c) -> (r×c)`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(r);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let arow = self.row(r);
+            let brow = other.row(r);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            let arow = self.row(r);
+            for rr in 0..other.rows {
+                let brow = other.row(rr);
+                let mut s = 0.0;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    s += a * b;
+                }
+                out.set(r, rr, s);
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise combine with another same-shape matrix.
+    pub fn zip(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Hadamard product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scale all entries.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// Add a row-vector (1×cols broadcast) to every row.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1);
+        assert_eq!(bias.cols, self.cols);
+        Matrix::from_fn(self.rows, self.cols, |r, c| self.get(r, c) + bias.get(0, c))
+    }
+
+    /// Sum over rows -> 1×cols (gradient of a broadcast bias).
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let orow = out.row_mut(0);
+            for (o, &v) in orow.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Concatenate columns: `[self | other]`.
+    pub fn concat_cols(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows);
+        Matrix::from_fn(self.rows, self.cols + other.cols, |r, c| {
+            if c < self.cols {
+                self.get(r, c)
+            } else {
+                other.get(r, c - self.cols)
+            }
+        })
+    }
+
+    /// Split columns back: inverse of [`Matrix::concat_cols`].
+    pub fn split_cols(&self, left_cols: usize) -> (Matrix, Matrix) {
+        assert!(left_cols <= self.cols);
+        let l = Matrix::from_fn(self.rows, left_cols, |r, c| self.get(r, c));
+        let r = Matrix::from_fn(self.rows, self.cols - left_cols, |r_, c| {
+            self.get(r_, left_cols + c)
+        });
+        (l, r)
+    }
+
+    /// Row-wise softmax (each row sums to 1).
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        out
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Fill with zeros (reuse allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_hand_example() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![1., 0., 0., 1., 1., 1.]);
+        let fast = a.t_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_t_equals_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(4, 3, vec![1., 0., 1., 0., 1., 1., 2., 2., 2., 1., 1., 0.]);
+        let fast = a.matmul_t(&b);
+        let slow = a.matmul(&b.transpose());
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_stable() {
+        let m = Matrix::from_vec(2, 3, vec![1000., 1001., 1002., -5., 0., 5.]);
+        let s = m.softmax_rows();
+        for r in 0..2 {
+            let sum: f64 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(s.row(r).iter().all(|v| v.is_finite()));
+        }
+        // Larger logit -> larger probability.
+        assert!(s.get(0, 2) > s.get(0, 1));
+    }
+
+    #[test]
+    fn broadcast_bias_and_sum_rows_roundtrip() {
+        let x = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Matrix::from_vec(1, 2, vec![10., 20.]);
+        let y = x.add_row_broadcast(&b);
+        assert_eq!(y.data(), &[11., 22., 13., 24.]);
+        assert_eq!(y.sum_rows().data(), &[24., 46.]);
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Matrix::from_vec(2, 1, vec![5., 6.]);
+        let cat = a.concat_cols(&b);
+        assert_eq!(cat.cols(), 3);
+        let (l, r) = cat.split_cols(2);
+        assert_eq!(l, a);
+        assert_eq!(r, b);
+    }
+
+    #[test]
+    fn xavier_within_bound_and_seeded_deterministic() {
+        let m1 = Matrix::xavier_seeded(10, 10, 3);
+        let m2 = Matrix::xavier_seeded(10, 10, 3);
+        assert_eq!(m1, m2);
+        let bound = (6.0 / 20.0f64).sqrt();
+        assert!(m1.data().iter().all(|&v| v.abs() <= bound));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn from_rows_and_access() {
+        let m = Matrix::from_rows(&[vec![1., 2.], vec![3., 4.]]);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1., 2.]);
+    }
+}

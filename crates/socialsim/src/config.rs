@@ -1,0 +1,132 @@
+//! Generation parameters for the synthetic Twitter corpus.
+
+/// Configuration of the synthetic corpus generator.
+///
+/// The defaults produce a corpus whose *shape* matches the paper's crawl
+/// (Table II) at roughly 1/5 scale so that the full experiment suite runs
+/// on a laptop: ~2,500 core users, ~6,000 root tweets across 33 hashtags,
+/// skewed retweet counts (average ≈ 8, max ≈ 200), ~4% hateful tweets
+/// overall with strong per-hashtag variation (0%–12%), and a news stream
+/// of ~12,000 headlines over the 71-day window 2020-02-03 → 2020-04-14.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master RNG seed; every derived generator seeds from this.
+    pub seed: u64,
+    /// Number of users in the core (tweeting) population.
+    pub n_users: usize,
+    /// Number of communities in the follower graph.
+    pub n_communities: usize,
+    /// Out-links (followees) created per user at attachment time.
+    pub follows_per_user: usize,
+    /// Probability that a follow edge stays within the user's community.
+    pub community_affinity: f64,
+    /// Scale factor on Table II per-hashtag tweet counts (1.0 = paper
+    /// scale; default 0.2).
+    pub tweet_scale: f64,
+    /// Days in the observation window (paper: 2020-02-03..2020-04-14).
+    pub n_days: usize,
+    /// Average news headlines per day.
+    pub news_per_day: usize,
+    /// Vocabulary size of the background (global) word distribution.
+    pub global_vocab: usize,
+    /// Topic-specific words per hashtag.
+    pub topic_vocab: usize,
+    /// Number of hate-lexicon entries (paper's lexicon: 209).
+    pub lexicon_size: usize,
+    /// Mean tweet length in tokens.
+    pub mean_tweet_len: usize,
+    /// Base probability that an exposed follower retweets.
+    pub base_retweet_prob: f64,
+    /// Exponent biasing tweet authorship towards high-follower accounts
+    /// (trending-hashtag corpora over-sample visible users).
+    pub author_influence_exp: f64,
+    /// Conversion boost for hateful content reaching a committed hater
+    /// (scaled by the exposed user's own hatefulness) — the echo-chamber
+    /// effect.
+    pub hate_echo_boost: f64,
+    /// Baseline conversion multiplier for hateful content reaching an
+    /// ordinary user (hate converts poorly outside the chamber).
+    pub hate_cross_damp: f64,
+    /// Overall virality multiplier for hateful roots, modelling the
+    /// organized promotion the paper attributes to hate campaigns
+    /// ("organized spreaders of hate", "paid promotion", Section I).
+    pub hate_virality: f64,
+    /// Mean retweet delay in hours for non-hate content.
+    pub mean_delay_hours: f64,
+    /// Delay contraction for hateful content (organized early spread).
+    pub hate_delay_factor: f64,
+    /// Maximum cascade depth explored by the simulator.
+    pub max_cascade_depth: usize,
+    /// Cap on retweets per cascade (paper max: 196).
+    pub max_retweets: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 20210203,
+            n_users: 2500,
+            n_communities: 12,
+            follows_per_user: 12,
+            community_affinity: 0.82,
+            tweet_scale: 0.2,
+            n_days: 71,
+            news_per_day: 170,
+            global_vocab: 4000,
+            topic_vocab: 60,
+            lexicon_size: 209,
+            mean_tweet_len: 14,
+            base_retweet_prob: 0.085,
+            author_influence_exp: 0.7,
+            hate_echo_boost: 6.0,
+            hate_cross_damp: 0.15,
+            hate_virality: 1.1,
+            mean_delay_hours: 14.0,
+            hate_delay_factor: 0.18,
+            max_cascade_depth: 6,
+            max_retweets: 200,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A small configuration for unit/integration tests (fast to build).
+    pub fn tiny() -> Self {
+        Self {
+            n_users: 220,
+            n_communities: 4,
+            follows_per_user: 8,
+            tweet_scale: 0.03,
+            news_per_day: 25,
+            global_vocab: 600,
+            topic_vocab: 25,
+            ..Default::default()
+        }
+    }
+
+    /// Total hours in the observation window.
+    pub fn span_hours(&self) -> f64 {
+        self.n_days as f64 * 24.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_window() {
+        let c = SimConfig::default();
+        assert_eq!(c.n_days, 71); // 2020-02-03 .. 2020-04-14
+        assert_eq!(c.lexicon_size, 209);
+        assert_eq!(c.span_hours(), 71.0 * 24.0);
+    }
+
+    #[test]
+    fn tiny_is_smaller() {
+        let t = SimConfig::tiny();
+        let d = SimConfig::default();
+        assert!(t.n_users < d.n_users);
+        assert!(t.tweet_scale < d.tweet_scale);
+    }
+}

@@ -1,0 +1,336 @@
+//! The information network `G = {U, E}` of Section III: a directed graph
+//! with an edge `(u_i, u_j)` iff `u_j` follows `u_i` (so information flows
+//! along the edge direction).
+//!
+//! The generator combines preferential attachment (yielding the heavy-
+//! tailed follower distribution real Twitter exhibits) with planted
+//! community blocks (yielding the echo-chambers that hate diffusion
+//! concentrates in, per Fig. 1 and Section I).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed follower graph in compressed sparse row form.
+///
+/// Terminology: if `v follows u` then `u -> v` is an edge; `followers(u)`
+/// are the users who see `u`'s tweets, `followees(v)` are the users `v`
+/// sees.
+#[derive(Debug, Clone)]
+pub struct FollowerGraph {
+    n: usize,
+    /// CSR over followers: `followers_adj[followers_off[u]..followers_off[u+1]]`.
+    followers_off: Vec<usize>,
+    followers_adj: Vec<u32>,
+    /// CSR over followees (reverse direction).
+    followees_off: Vec<usize>,
+    followees_adj: Vec<u32>,
+    /// Community id per user.
+    community: Vec<u16>,
+}
+
+impl FollowerGraph {
+    /// Generate a graph with `n` users, `m` follow-links per user,
+    /// `n_communities` planted blocks and `affinity` probability of
+    /// linking within one's own community; preferential attachment on the
+    /// follower counts produces a heavy-tailed degree distribution.
+    pub fn generate(
+        n: usize,
+        m: usize,
+        n_communities: usize,
+        affinity: f64,
+        seed: u64,
+    ) -> Self {
+        Self::generate_with_hate_core(n, m, n_communities, affinity, &vec![false; n], seed)
+    }
+
+    /// Like [`FollowerGraph::generate`], but plants a *hate core*: the
+    /// flagged users allocate most of their follow links to each other
+    /// (a dense, partially cross-community sub-network — hate campaigns
+    /// transcend ordinary community boundaries), while ordinary users
+    /// rarely follow them (hateful accounts are marginal in the organic
+    /// graph). This produces the paper's echo-chambers: hateful content
+    /// reaches a well-connected audience whose follower sets overlap, so
+    /// large hate cascades still expose *few* fresh susceptible users
+    /// (Fig. 1b).
+    pub fn generate_with_hate_core(
+        n: usize,
+        m: usize,
+        n_communities: usize,
+        affinity: f64,
+        hateful: &[bool],
+        seed: u64,
+    ) -> Self {
+        assert!(n >= 2, "need at least two users");
+        assert_eq!(hateful.len(), n);
+        let n_communities = n_communities.clamp(1, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let community: Vec<u16> = (0..n)
+            .map(|_| rng.gen_range(0..n_communities) as u16)
+            .collect();
+        // Members per community for targeted sampling.
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_communities];
+        for (u, &c) in community.iter().enumerate() {
+            members[c as usize].push(u as u32);
+        }
+        let hate_pool: Vec<u32> = (0..n as u32).filter(|&u| hateful[u as usize]).collect();
+
+        // Fraction of a hateful user's follows aimed at the hate core,
+        // and the acceptance probability of an ordinary user following a
+        // hateful account.
+        const HATE_FOLLOW_FRAC: f64 = 0.75;
+        const ORGANIC_FOLLOWS_HATE: f64 = 0.04;
+
+        // edges[v] = set of followees of v (v follows u). Built node by
+        // node; preferential attachment by follower-count + 1.
+        let mut follower_count = vec![1u32; n]; // +1 smoothing
+        let mut followees: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+        for v in 0..n {
+            let cv = community[v] as usize;
+            let want = m.min(n - 1);
+            let mut chosen = std::collections::HashSet::new();
+            let mut attempts = 0;
+            while chosen.len() < want && attempts < want * 30 {
+                attempts += 1;
+                // Hateful users predominantly follow the hate core.
+                if hateful[v] && hate_pool.len() > 1 && rng.gen_bool(HATE_FOLLOW_FRAC) {
+                    let u = hate_pool[rng.gen_range(0..hate_pool.len())] as usize;
+                    if u != v && chosen.insert(u) {
+                        follower_count[u] += 1;
+                        followees[v].push(u as u32);
+                    }
+                    continue;
+                }
+                let in_comm = rng.gen_bool(affinity) && members[cv].len() > 1;
+                let candidate = if in_comm {
+                    // Preferential by rejection sampling inside community.
+                    let pool = &members[cv];
+                    let mut u = pool[rng.gen_range(0..pool.len())] as usize;
+                    for _ in 0..4 {
+                        let alt = pool[rng.gen_range(0..pool.len())] as usize;
+                        if follower_count[alt] > follower_count[u] && rng.gen_bool(0.7) {
+                            u = alt;
+                        }
+                    }
+                    u
+                } else {
+                    // Global preferential via a tournament of 4.
+                    let mut u = rng.gen_range(0..n);
+                    for _ in 0..4 {
+                        let alt = rng.gen_range(0..n);
+                        if follower_count[alt] > follower_count[u] && rng.gen_bool(0.7) {
+                            u = alt;
+                        }
+                    }
+                    u
+                };
+                // Ordinary users mostly decline to follow hateful
+                // accounts (marginal in the organic graph).
+                if !hateful[v] && hateful[candidate] && !rng.gen_bool(ORGANIC_FOLLOWS_HATE) {
+                    continue;
+                }
+                if candidate != v && chosen.insert(candidate) {
+                    follower_count[candidate] += 1;
+                    followees[v].push(candidate as u32);
+                }
+            }
+        }
+
+        Self::from_followees(followees, community)
+    }
+
+    /// Build from an explicit followee adjacency (v -> list of users v
+    /// follows) and community labels.
+    pub fn from_followees(followees: Vec<Vec<u32>>, community: Vec<u16>) -> Self {
+        let n = followees.len();
+        assert_eq!(community.len(), n);
+        // Reverse to follower lists.
+        let mut follower_lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (v, fs) in followees.iter().enumerate() {
+            for &u in fs {
+                follower_lists[u as usize].push(v as u32);
+            }
+        }
+        let build_csr = |lists: &[Vec<u32>]| -> (Vec<usize>, Vec<u32>) {
+            let mut off = Vec::with_capacity(lists.len() + 1);
+            off.push(0);
+            let total: usize = lists.iter().map(|l| l.len()).sum();
+            let mut adj = Vec::with_capacity(total);
+            for l in lists {
+                adj.extend_from_slice(l);
+                off.push(adj.len());
+            }
+            (off, adj)
+        };
+        let (followers_off, followers_adj) = build_csr(&follower_lists);
+        let (followees_off, followees_adj) = build_csr(&followees);
+        Self {
+            n,
+            followers_off,
+            followers_adj,
+            followees_off,
+            followees_adj,
+            community,
+        }
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed follow edges.
+    pub fn n_edges(&self) -> usize {
+        self.followers_adj.len()
+    }
+
+    /// Users who follow `u` (receive `u`'s tweets).
+    pub fn followers(&self, u: usize) -> &[u32] {
+        &self.followers_adj[self.followers_off[u]..self.followers_off[u + 1]]
+    }
+
+    /// Users whom `v` follows.
+    pub fn followees(&self, v: usize) -> &[u32] {
+        &self.followees_adj[self.followees_off[v]..self.followees_off[v + 1]]
+    }
+
+    /// Follower count of `u`.
+    pub fn follower_count(&self, u: usize) -> usize {
+        self.followers_off[u + 1] - self.followers_off[u]
+    }
+
+    /// Community label of `u`.
+    pub fn community(&self, u: usize) -> u16 {
+        self.community[u]
+    }
+
+    /// BFS shortest-path length (in follow hops, direction of information
+    /// flow `from -> ...`) capped at `cap`; `None` if unreachable within
+    /// the cap. This instantiates the peer-signal feature "shortest path
+    /// length from u₀ to u_i in G" (Section V-A).
+    pub fn shortest_path_len(&self, from: usize, to: usize, cap: usize) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let mut visited = vec![false; self.n];
+        visited[from] = true;
+        let mut frontier = vec![from as u32];
+        for d in 1..=cap {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in self.followers(u as usize) {
+                    if v as usize == to {
+                        return Some(d);
+                    }
+                    if !visited[v as usize] {
+                        visited[v as usize] = true;
+                        next.push(v);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return None;
+            }
+            frontier = next;
+        }
+        None
+    }
+
+    /// Degree (follower-count) histogram summary: (max, mean).
+    pub fn follower_stats(&self) -> (usize, f64) {
+        let max = (0..self.n).map(|u| self.follower_count(u)).max().unwrap_or(0);
+        let mean = self.n_edges() as f64 / self.n as f64;
+        (max, mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> FollowerGraph {
+        FollowerGraph::generate(300, 8, 4, 0.8, 7)
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = g();
+        assert_eq!(g.n_users(), 300);
+        assert!(g.n_edges() > 300 * 4, "should be densely followed");
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let g = g();
+        for v in 0..g.n_users() {
+            let fs = g.followees(v);
+            assert!(!fs.contains(&(v as u32)), "self-follow at {v}");
+            let mut sorted = fs.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), fs.len(), "duplicate follow at {v}");
+        }
+    }
+
+    #[test]
+    fn followers_and_followees_consistent() {
+        let g = g();
+        for u in 0..g.n_users() {
+            for &v in g.followers(u) {
+                assert!(
+                    g.followees(v as usize).contains(&(u as u32)),
+                    "inconsistent edge {u}->{v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_tail_present() {
+        let g = g();
+        let (max, mean) = g.follower_stats();
+        assert!(
+            max as f64 > 4.0 * mean,
+            "preferential attachment should create hubs: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn community_affinity_reflected_in_edges() {
+        let g = FollowerGraph::generate(500, 10, 5, 0.9, 3);
+        let mut within = 0usize;
+        let mut total = 0usize;
+        for v in 0..g.n_users() {
+            for &u in g.followees(v) {
+                total += 1;
+                if g.community(v) == g.community(u as usize) {
+                    within += 1;
+                }
+            }
+        }
+        let frac = within as f64 / total as f64;
+        assert!(frac > 0.6, "within-community fraction {frac} too low");
+    }
+
+    #[test]
+    fn shortest_path_basics() {
+        // Chain: 0 -> 1 -> 2 (1 follows 0, 2 follows 1).
+        let followees = vec![vec![], vec![0], vec![1]];
+        let g = FollowerGraph::from_followees(followees, vec![0, 0, 0]);
+        assert_eq!(g.shortest_path_len(0, 0, 5), Some(0));
+        assert_eq!(g.shortest_path_len(0, 1, 5), Some(1));
+        assert_eq!(g.shortest_path_len(0, 2, 5), Some(2));
+        assert_eq!(g.shortest_path_len(2, 0, 5), None); // wrong direction
+        assert_eq!(g.shortest_path_len(0, 2, 1), None); // cap too small
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = FollowerGraph::generate(100, 5, 3, 0.8, 11);
+        let b = FollowerGraph::generate(100, 5, 3, 0.8, 11);
+        assert_eq!(a.n_edges(), b.n_edges());
+        for u in 0..100 {
+            assert_eq!(a.followers(u), b.followers(u));
+        }
+    }
+}

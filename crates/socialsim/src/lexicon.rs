@@ -1,0 +1,119 @@
+//! Synthetic hate lexicon.
+//!
+//! The paper uses the 209-entry code-switched Hindi/English lexicon of
+//! Kapoor et al. [17], which mixes directly derogatory slurs with
+//! context-dependent colloquial terms (Section VI-B). That lexicon cannot
+//! be redistributed here, so we synthesize one with the same *functional*
+//! structure:
+//!
+//! * ~70% direct slur tokens (`slur_XX`) that the text generator emits
+//!   almost exclusively in hateful tweets,
+//! * ~20% ambiguous colloquial tokens (`colloq_XX`) emitted in both
+//!   classes at different rates (these create the false-positive pressure
+//!   real lexicons have),
+//! * ~10% two-token phrases (`go back_XX` style) exercising the phrase
+//!   matcher.
+
+/// Kinds of lexicon entry, mirroring the real lexicon's mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LexiconEntryKind {
+    /// Direct, unambiguous slur.
+    Slur,
+    /// Context-dependent colloquial term.
+    Colloquial,
+    /// Multi-token hateful phrase.
+    Phrase,
+}
+
+/// A generated lexicon entry.
+#[derive(Debug, Clone)]
+pub struct LexiconEntry {
+    /// The term (single token or space-separated phrase).
+    pub term: String,
+    /// Its kind.
+    pub kind: LexiconEntryKind,
+}
+
+/// Generate a synthetic lexicon of `size` entries (the paper's is 209).
+pub fn generate_lexicon(size: usize) -> Vec<LexiconEntry> {
+    let n_slur = size * 7 / 10;
+    let n_colloq = size * 2 / 10;
+    let n_phrase = size - n_slur - n_colloq;
+    let mut out = Vec::with_capacity(size);
+    for i in 0..n_slur {
+        out.push(LexiconEntry {
+            term: format!("slur{i}"),
+            kind: LexiconEntryKind::Slur,
+        });
+    }
+    for i in 0..n_colloq {
+        out.push(LexiconEntry {
+            term: format!("colloq{i}"),
+            kind: LexiconEntryKind::Colloquial,
+        });
+    }
+    for i in 0..n_phrase {
+        out.push(LexiconEntry {
+            term: format!("hate{i} phrase{i}"),
+            kind: LexiconEntryKind::Phrase,
+        });
+    }
+    out
+}
+
+/// Just the term strings (for building a `text::HateLexicon`).
+pub fn lexicon_terms(entries: &[LexiconEntry]) -> Vec<String> {
+    entries.iter().map(|e| e.term.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        let lex = generate_lexicon(209);
+        assert_eq!(lex.len(), 209);
+    }
+
+    #[test]
+    fn kind_mix_matches_ratios() {
+        let lex = generate_lexicon(209);
+        let slurs = lex.iter().filter(|e| e.kind == LexiconEntryKind::Slur).count();
+        let colloq = lex
+            .iter()
+            .filter(|e| e.kind == LexiconEntryKind::Colloquial)
+            .count();
+        let phrases = lex
+            .iter()
+            .filter(|e| e.kind == LexiconEntryKind::Phrase)
+            .count();
+        assert_eq!(slurs, 146);
+        assert_eq!(colloq, 41);
+        assert_eq!(phrases, 22);
+        assert_eq!(slurs + colloq + phrases, 209);
+    }
+
+    #[test]
+    fn phrases_are_multi_token() {
+        let lex = generate_lexicon(50);
+        for e in &lex {
+            match e.kind {
+                LexiconEntryKind::Phrase => {
+                    assert!(e.term.contains(' '), "phrase should have 2 tokens")
+                }
+                _ => assert!(!e.term.contains(' ')),
+            }
+        }
+    }
+
+    #[test]
+    fn terms_unique() {
+        let lex = generate_lexicon(209);
+        let mut terms = lexicon_terms(&lex);
+        terms.sort();
+        let before = terms.len();
+        terms.dedup();
+        assert_eq!(terms.len(), before);
+    }
+}

@@ -1,0 +1,44 @@
+//! # socialsim — synthetic Twitter substrate
+//!
+//! The paper's evaluation rests on a crawled corpus (161M tweets, 41M
+//! users, a depth-3 follower network, 683k news articles and manual hate
+//! annotation) that cannot be redistributed or re-crawled offline. This
+//! crate is the documented substitution (see DESIGN.md §2): a *generative*
+//! Twitter whose statistical signatures match what the paper measures —
+//!
+//! * a scale-free directed follower graph with community structure
+//!   ([`graph`]),
+//! * a hashtag roster mirroring Table II's 33 hashtags with per-tag tweet
+//!   volume, average retweets and hate prevalence ([`topics`]),
+//! * users whose hatefulness is **topic-dependent** (Fig. 3) ([`users`]),
+//! * Zipfian topic-conditioned tweet text with hate-lexicon injection
+//!   ([`textgen`], [`lexicon`]),
+//! * an exogenous news stream that co-moves with on-platform topic
+//!   activity ([`news`]),
+//! * a Hawkes-like retweet cascade process in which hateful content
+//!   spreads fast and early inside echo-chambers while non-hate spreads
+//!   broader and slower (Fig. 1) ([`cascade`]),
+//! * full corpus assembly with activity histories and Table II statistics
+//!   ([`dataset`]).
+//!
+//! Everything is deterministic under [`config::SimConfig::seed`].
+
+pub mod cascade;
+pub mod config;
+pub mod dataset;
+pub mod graph;
+pub mod lexicon;
+pub mod news;
+pub mod textgen;
+pub mod topics;
+pub mod users;
+
+pub use cascade::{CascadeSimulator, Retweet};
+pub use config::SimConfig;
+pub use dataset::{Dataset, HashtagStats, NewsArticle, Tweet, TweetId, UserId};
+pub use graph::FollowerGraph;
+pub use lexicon::generate_lexicon;
+pub use news::NewsGenerator;
+pub use textgen::TextGenerator;
+pub use topics::{Topic, TopicId, TopicRoster};
+pub use users::UserProfile;

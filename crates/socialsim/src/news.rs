@@ -1,0 +1,173 @@
+//! Exogenous news stream.
+//!
+//! The paper collected 683k news articles over the observation window and
+//! used the most recent headlines relative to each tweet as the exogenous
+//! signal (Sections IV-D, V-A). The synthetic stream reproduces the one
+//! property the models depend on: *news volume and content co-move with
+//! on-platform topic activity* (the real-world event behind a hashtag
+//! produces both the hashtag burst and the headlines). Each day emits a
+//! Poisson number of headlines whose topic mixture follows the roster's
+//! intensity curves on that day.
+
+use crate::textgen::{sample_poisson, TextGenerator};
+use crate::topics::TopicRoster;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated news headline.
+#[derive(Debug, Clone)]
+pub struct Headline {
+    /// Publication time in hours from the window start.
+    pub time_hours: f64,
+    /// Headline tokens.
+    pub tokens: Vec<String>,
+    /// The article's topic (ground truth, not exposed to models —
+    /// used by tests and by the cascade simulator's news-heat coupling).
+    pub dominant_topic: usize,
+}
+
+/// Generator for the news stream.
+#[derive(Debug, Clone)]
+pub struct NewsGenerator {
+    per_day: usize,
+}
+
+impl NewsGenerator {
+    /// Create with an average of `per_day` headlines per day.
+    pub fn new(per_day: usize) -> Self {
+        Self { per_day }
+    }
+
+    /// Generate the full stream over `n_days`, sorted by time.
+    pub fn generate(
+        &self,
+        roster: &TopicRoster,
+        textgen: &TextGenerator,
+        n_days: usize,
+        seed: u64,
+    ) -> Vec<Headline> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(self.per_day * n_days);
+        for day in 0..n_days {
+            let day_f = day as f64 + 0.5;
+            // Newsroom output tracks total event intensity: bursts produce
+            // visible coverage spikes (the signal RETINA's attention
+            // consumes).
+            let total_intensity: f64 =
+                (0..roster.len()).map(|tid| roster.intensity(tid, day_f)).sum();
+            let volume_scale = (0.25 + 0.16 * total_intensity).min(3.0);
+            let n = sample_poisson(self.per_day as f64 * volume_scale, &mut rng);
+            let mut mix: Vec<(usize, f64)> = (0..roster.len())
+                .map(|tid| {
+                    (
+                        tid,
+                        roster.intensity(tid, day_f)
+                            * (roster.get(tid).paper_tweets as f64).sqrt(),
+                    )
+                })
+                .collect();
+            mix.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            mix.truncate(12);
+            for _ in 0..n {
+                let t = (day as f64 + rng.gen_range(0.0..1.0)) * 24.0;
+                let (tokens, article_topic) = textgen.gen_headline(roster, &mix, &mut rng);
+                out.push(Headline {
+                    time_hours: t,
+                    tokens,
+                    dominant_topic: article_topic,
+                });
+            }
+        }
+        out.sort_by(|a, b| a.time_hours.partial_cmp(&b.time_hours).unwrap());
+        out
+    }
+}
+
+/// Indices of the latest `k` headlines strictly before `t_hours`.
+/// `headlines` must be sorted by time (as produced by
+/// [`NewsGenerator::generate`]). Returned oldest-first.
+pub fn news_before(headlines: &[Headline], t_hours: f64, k: usize) -> Vec<usize> {
+    let end = headlines.partition_point(|h| h.time_hours < t_hours);
+    let start = end.saturating_sub(k);
+    (start..end).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::generate_lexicon;
+
+    fn stream() -> (Vec<Headline>, TopicRoster) {
+        let roster = TopicRoster::paper_roster();
+        let lex = generate_lexicon(100);
+        let tg = TextGenerator::new(500, 30, 12, &lex);
+        let news = NewsGenerator::new(40).generate(&roster, &tg, 71, 0);
+        (news, roster)
+    }
+
+    #[test]
+    fn volume_roughly_matches() {
+        let (news, _) = stream();
+        let expected = 40 * 71;
+        assert!(
+            (news.len() as f64 - expected as f64).abs() < expected as f64 * 0.3,
+            "got {} headlines",
+            news.len()
+        );
+    }
+
+    #[test]
+    fn sorted_by_time() {
+        let (news, _) = stream();
+        for w in news.windows(2) {
+            assert!(w[0].time_hours <= w[1].time_hours);
+        }
+    }
+
+    #[test]
+    fn news_before_returns_latest_k() {
+        let (news, _) = stream();
+        let t = 24.0 * 30.0;
+        let idx = news_before(&news, t, 60);
+        assert_eq!(idx.len(), 60);
+        for &i in &idx {
+            assert!(news[i].time_hours < t);
+        }
+        // They are the *latest* ones: the next headline after the window
+        // must be >= t.
+        let last = *idx.last().unwrap();
+        assert!(news.get(last + 1).map_or(true, |h| h.time_hours >= t));
+    }
+
+    #[test]
+    fn news_before_start_is_empty_or_short() {
+        let (news, _) = stream();
+        let idx = news_before(&news, 0.5, 60);
+        assert!(idx.len() < 60);
+    }
+
+    #[test]
+    fn dominant_topic_tracks_events() {
+        use crate::topics::Theme;
+        let (news, roster) = stream();
+        // Day 9 (election results peak): the dominant topic should be
+        // from the Election cluster; day 68 (lockdown extension) from the
+        // Covid cluster. (Day ~57 belongs to #IslamoPhobicIndianMedia,
+        // the roster's highest-volume tag.)
+        let theme_share = |day: f64, theme: Theme| {
+            let hs: Vec<_> = news
+                .iter()
+                .filter(|h| (h.time_hours / 24.0).floor() == day)
+                .collect();
+            let hits = hs
+                .iter()
+                .filter(|h| roster.get(h.dominant_topic).theme == theme)
+                .count();
+            hits as f64 / hs.len().max(1) as f64
+        };
+        // Election coverage peaks around the election-results days and is
+        // gone a month later; Covid coverage dominates the late window.
+        assert!(theme_share(9.0, Theme::Election) > theme_share(40.0, Theme::Election) + 0.1);
+        assert!(theme_share(68.0, Theme::Covid) > theme_share(9.0, Theme::Covid) + 0.1);
+    }
+}

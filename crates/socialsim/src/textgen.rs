@@ -1,0 +1,360 @@
+//! Topic-conditioned synthetic tweet and headline text.
+//!
+//! Tweets are token sequences drawn from a mixture of
+//!
+//! * a global Zipfian background vocabulary (function words, platform
+//!   chatter),
+//! * theme-specific vocabulary shared by hashtags of one theme,
+//! * hashtag-specific vocabulary,
+//! * the hashtag token itself (every tweet carries its hashtag, matching
+//!   how the paper's corpus was collected by tracking trending hashtags),
+//! * and, for hateful tweets, hate-lexicon terms: mostly direct slurs plus
+//!   colloquial terms that also appear (rarer) in non-hateful text —
+//!   giving the lexicon feature its real discriminative-but-noisy
+//!   character.
+//!
+//! News headlines share the theme vocabularies (that is exactly what makes
+//! the exogenous signal informative) but use a distinct journalistic
+//! background vocabulary.
+
+use crate::lexicon::{LexiconEntry, LexiconEntryKind};
+use crate::topics::{Topic, TopicRoster};
+use crate::users::theme_index;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Zipfian sampler over `n` ranked items.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build with exponent `s` (s≈1 for natural language).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cumulative.push(acc);
+        }
+        Self { cumulative }
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let u: f64 = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i,
+        }
+    }
+}
+
+/// The synthetic text generator.
+#[derive(Debug, Clone)]
+pub struct TextGenerator {
+    global_zipf: Zipf,
+    theme_zipf: Zipf,
+    topic_zipf: Zipf,
+    global_vocab: usize,
+    topic_vocab: usize,
+    mean_len: usize,
+    slurs: Vec<String>,
+    colloquials: Vec<String>,
+    phrases: Vec<Vec<String>>,
+}
+
+impl TextGenerator {
+    /// Build from the generation parameters and a lexicon.
+    pub fn new(
+        global_vocab: usize,
+        topic_vocab: usize,
+        mean_len: usize,
+        lexicon: &[LexiconEntry],
+    ) -> Self {
+        let mut slurs = Vec::new();
+        let mut colloquials = Vec::new();
+        let mut phrases = Vec::new();
+        for e in lexicon {
+            match e.kind {
+                LexiconEntryKind::Slur => slurs.push(e.term.clone()),
+                LexiconEntryKind::Colloquial => colloquials.push(e.term.clone()),
+                LexiconEntryKind::Phrase => {
+                    phrases.push(e.term.split(' ').map(str::to_string).collect())
+                }
+            }
+        }
+        Self {
+            global_zipf: Zipf::new(global_vocab, 1.05),
+            theme_zipf: Zipf::new(topic_vocab * 3, 0.9),
+            topic_zipf: Zipf::new(topic_vocab, 0.9),
+            global_vocab,
+            topic_vocab,
+            mean_len,
+            slurs,
+            colloquials,
+            phrases,
+        }
+    }
+
+    /// Global vocabulary size.
+    pub fn global_vocab(&self) -> usize {
+        self.global_vocab
+    }
+
+    /// Per-topic vocabulary size.
+    pub fn topic_vocab(&self) -> usize {
+        self.topic_vocab
+    }
+
+    fn global_word(&self, rank: usize) -> String {
+        format!("w{rank}")
+    }
+
+    fn theme_word(&self, theme_idx: usize, rank: usize) -> String {
+        format!("th{theme_idx}x{rank}")
+    }
+
+    fn topic_word(&self, topic: &Topic, rank: usize) -> String {
+        format!("{}x{rank}", topic.code.to_lowercase())
+    }
+
+    /// Generate one tweet's tokens for `topic`, hateful or not.
+    pub fn gen_tweet(&self, topic: &Topic, hateful: bool, rng: &mut StdRng) -> Vec<String> {
+        let len = sample_poisson(self.mean_len as f64, rng).max(4);
+        let theme_idx = theme_index(topic.theme);
+        let mut toks = Vec::with_capacity(len + 4);
+        for _ in 0..len {
+            let r: f64 = rng.gen_range(0.0..1.0);
+            if r < 0.45 {
+                toks.push(self.global_word(self.global_zipf.sample(rng)));
+            } else if r < 0.72 {
+                toks.push(self.theme_word(theme_idx, self.theme_zipf.sample(rng)));
+            } else {
+                toks.push(self.topic_word(topic, self.topic_zipf.sample(rng)));
+            }
+        }
+        // Colloquial ambiguity: both classes use colloquial lexicon terms,
+        // hateful text far more often.
+        let colloq_rate = if hateful { 0.5 } else { 0.04 };
+        if !self.colloquials.is_empty() && rng.gen_bool(colloq_rate) {
+            let t = self.colloquials[rng.gen_range(0..self.colloquials.len())].clone();
+            toks.insert(rng.gen_range(0..=toks.len()), t);
+        }
+        if hateful {
+            // 1-4 direct slur tokens, occasionally a phrase.
+            let n_slur = 1 + sample_poisson(1.2, rng).min(3);
+            for _ in 0..n_slur {
+                if !self.slurs.is_empty() {
+                    let t = self.slurs[rng.gen_range(0..self.slurs.len())].clone();
+                    toks.insert(rng.gen_range(0..=toks.len()), t);
+                }
+            }
+            if !self.phrases.is_empty() && rng.gen_bool(0.15) {
+                let ph = &self.phrases[rng.gen_range(0..self.phrases.len())];
+                let pos = rng.gen_range(0..=toks.len());
+                for (off, t) in ph.iter().enumerate() {
+                    toks.insert(pos + off, t.clone());
+                }
+            }
+        }
+        // Hashtag token always present (collection-by-hashtag).
+        toks.push(topic.hashtag.to_string());
+        toks
+    }
+
+    /// Generate one news headline. `topic_mix` gives the active topics
+    /// and their relative intensities at publication time; one topic is
+    /// drawn per headline (articles are topically coherent) and returned
+    /// alongside the tokens.
+    pub fn gen_headline(
+        &self,
+        roster: &TopicRoster,
+        topic_mix: &[(usize, f64)],
+        rng: &mut StdRng,
+    ) -> (Vec<String>, usize) {
+        let len = sample_poisson(9.0, rng).max(5);
+        let total: f64 = topic_mix.iter().map(|(_, w)| w).sum();
+        // One coherent topic per article.
+        let chosen = if total <= 0.0 {
+            topic_mix.first().map(|&(t, _)| t).unwrap_or(0)
+        } else {
+            let mut pick: f64 = rng.gen_range(0.0..total);
+            let mut c = topic_mix[0].0;
+            for &(tid, w) in topic_mix {
+                if pick < w {
+                    c = tid;
+                    break;
+                }
+                pick -= w;
+            }
+            c
+        };
+        let topic = roster.get(chosen);
+        let mut toks = Vec::with_capacity(len);
+        for _ in 0..len {
+            let r: f64 = rng.gen_range(0.0..1.0);
+            if r < 0.4 {
+                // Journalistic background vocabulary (disjoint from tweets).
+                toks.push(format!("nw{}", self.global_zipf.sample(rng)));
+            } else if rng.gen_bool(0.6) {
+                toks.push(self.theme_word(theme_index(topic.theme), self.theme_zipf.sample(rng)));
+            } else {
+                toks.push(self.topic_word(topic, self.topic_zipf.sample(rng)));
+            }
+        }
+        (toks, chosen)
+    }
+}
+
+/// Knuth Poisson sampler (fine for small means).
+pub fn sample_poisson(mean: f64, rng: &mut StdRng) -> usize {
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0f64..1.0);
+        if p <= l || k > 10_000 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Exponential sampler with the given mean.
+pub fn sample_exponential(mean: f64, rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::generate_lexicon;
+    use rand::SeedableRng;
+
+    fn setup() -> (TextGenerator, TopicRoster, StdRng) {
+        let lex = generate_lexicon(209);
+        let gen = TextGenerator::new(1000, 40, 14, &lex);
+        (gen, TopicRoster::paper_roster(), StdRng::seed_from_u64(0))
+    }
+
+    #[test]
+    fn tweet_contains_hashtag() {
+        let (gen, roster, mut rng) = setup();
+        let t = roster.get(0);
+        let toks = gen.gen_tweet(t, false, &mut rng);
+        assert!(toks.contains(&t.hashtag.to_string()));
+    }
+
+    #[test]
+    fn hateful_tweets_carry_more_slurs() {
+        let (gen, roster, mut rng) = setup();
+        let t = roster.get(0);
+        let count_slurs = |toks: &[String]| toks.iter().filter(|t| t.starts_with("slur")).count();
+        let mut hate_slurs = 0;
+        let mut clean_slurs = 0;
+        for _ in 0..200 {
+            hate_slurs += count_slurs(&gen.gen_tweet(t, true, &mut rng));
+            clean_slurs += count_slurs(&gen.gen_tweet(t, false, &mut rng));
+        }
+        assert!(hate_slurs > 200, "hateful tweets should carry slurs");
+        assert_eq!(clean_slurs, 0, "non-hate tweets never emit direct slurs");
+    }
+
+    #[test]
+    fn colloquials_appear_in_both_classes() {
+        let (gen, roster, mut rng) = setup();
+        let t = roster.get(0);
+        let has_colloq = |toks: &[String]| toks.iter().any(|t| t.starts_with("colloq"));
+        let mut clean_with = 0;
+        for _ in 0..800 {
+            if has_colloq(&gen.gen_tweet(t, false, &mut rng)) {
+                clean_with += 1;
+            }
+        }
+        assert!(
+            clean_with > 5,
+            "colloquial terms must leak into clean text ({clean_with}/800)"
+        );
+    }
+
+    #[test]
+    fn same_theme_hashtags_share_vocabulary() {
+        let (gen, roster, mut rng) = setup();
+        let jv = roster.iter().find(|t| t.code == "JV").unwrap();
+        let jua = roster.iter().find(|t| t.code == "JUA").unwrap();
+        let covid = roster.iter().find(|t| t.code == "C_19").unwrap();
+        let theme_words = |topic: &Topic, rng: &mut StdRng| -> std::collections::HashSet<String> {
+            let mut set = std::collections::HashSet::new();
+            for _ in 0..60 {
+                for tok in gen.gen_tweet(topic, false, rng) {
+                    if tok.starts_with("th") && tok.contains('x') {
+                        set.insert(tok);
+                    }
+                }
+            }
+            set
+        };
+        let a = theme_words(jv, &mut rng);
+        let b = theme_words(jua, &mut rng);
+        let c = theme_words(covid, &mut rng);
+        let overlap_ab = a.intersection(&b).count();
+        let overlap_ac = a.intersection(&c).count();
+        assert!(
+            overlap_ab > overlap_ac,
+            "same-theme overlap {overlap_ab} should beat cross-theme {overlap_ac}"
+        );
+    }
+
+    #[test]
+    fn headline_reflects_topic_mix() {
+        let (gen, roster, mut rng) = setup();
+        let jv = roster.iter().find(|t| t.code == "JV").unwrap();
+        let mix = vec![(jv.id, 1.0)];
+        let mut theme_hits = 0;
+        for _ in 0..100 {
+            let (toks, _) = gen.gen_headline(&roster, &mix, &mut rng);
+            let ti = theme_index(jv.theme);
+            if toks.iter().any(|t| t.starts_with(&format!("th{ti}x"))) {
+                theme_hits += 1;
+            }
+        }
+        assert!(theme_hits > 50, "headlines should carry theme words");
+    }
+
+    #[test]
+    fn zipf_rank_ordering() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn poisson_mean_roughly_correct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 5000;
+        let mean: f64 =
+            (0..n).map(|_| sample_poisson(14.0, &mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 14.0).abs() < 0.5, "poisson mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_roughly_correct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 5000;
+        let mean: f64 = (0..n).map(|_| sample_exponential(3.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.2, "exp mean {mean}");
+    }
+}

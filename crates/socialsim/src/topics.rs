@@ -1,0 +1,292 @@
+//! The hashtag (topic) roster, mirroring Table II of the paper.
+//!
+//! Each hashtag carries the paper-reported target statistics (tweet
+//! volume, average retweets, % hateful) that the generator calibrates to,
+//! plus a *theme* grouping: hashtags like `#jamiaviolence`,
+//! `#jamiaunderattack` and `#JamiaCCTV` share a discussion theme (and thus
+//! vocabulary) while still differing in hate intensity — exactly the
+//! observation of Fig. 2 ("even when different hashtags share a common
+//! theme ... they may still incur a different degree of hate").
+
+/// Dense topic identifier.
+pub type TopicId = usize;
+
+/// Discussion themes grouping related hashtags (shared vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Theme {
+    /// Jamia university incident cluster.
+    Jamia,
+    /// Delhi riots / violence cluster.
+    DelhiRiots,
+    /// Delhi election cluster.
+    Election,
+    /// COVID-19 / lockdown cluster.
+    Covid,
+    /// CAA/NPR protest cluster.
+    Protest,
+    /// Media criticism cluster.
+    Media,
+    /// Judiciary / verdict cluster.
+    Verdict,
+    /// Miscellaneous politics.
+    Politics,
+}
+
+/// One hashtag with its Table II target statistics.
+#[derive(Debug, Clone)]
+pub struct Topic {
+    /// Dense id (index into the roster).
+    pub id: TopicId,
+    /// Short code used in Table II (e.g. `JV`).
+    pub code: &'static str,
+    /// Full hashtag (e.g. `#jamiaviolence`).
+    pub hashtag: &'static str,
+    /// Theme cluster.
+    pub theme: Theme,
+    /// Paper tweet count (before scaling).
+    pub paper_tweets: usize,
+    /// Paper average retweets per tweet.
+    pub avg_retweets: f64,
+    /// Paper % of hateful tweets (0..100).
+    pub pct_hate: f64,
+    /// Day (0-based within the window) the hashtag peaks.
+    pub peak_day: f64,
+    /// Std-dev of the activity bell around the peak, in days.
+    pub spread_days: f64,
+    /// Unplanned event bursts `(day, strength, width_days)`: short spikes
+    /// of real-world activity that drive both the news stream and cascade
+    /// virality, but are *not* reflected in the (smoothed) trending list
+    /// — the mechanism that makes the exogenous signal informative beyond
+    /// the endogenous one (Section II / Myers et al.).
+    pub bursts: Vec<(f64, f64, f64)>,
+}
+
+impl Topic {
+    /// Smooth (planned) intensity at a fractional day.
+    pub fn smooth_intensity(&self, day: f64) -> f64 {
+        let z = (day - self.peak_day) / self.spread_days;
+        (-0.5 * z * z).exp()
+    }
+
+    /// Full intensity: smooth component plus event bursts.
+    pub fn intensity_at(&self, day: f64) -> f64 {
+        let mut v = self.smooth_intensity(day);
+        for &(b, strength, width) in &self.bursts {
+            let z = (day - b) / width;
+            v += strength * (-0.5 * z * z).exp();
+        }
+        v
+    }
+}
+
+/// The full roster with scaling applied.
+#[derive(Debug, Clone)]
+pub struct TopicRoster {
+    topics: Vec<Topic>,
+}
+
+impl TopicRoster {
+    /// The 34 hashtags of Table II with target stats, activity peaks laid
+    /// out over the 71-day window (2020-02-03 → 2020-04-14) according to
+    /// the real-world event each hashtag tracks.
+    pub fn paper_roster() -> Self {
+        use Theme::*;
+        let rows: Vec<(&'static str, &'static str, Theme, usize, f64, f64, f64, f64)> = vec![
+            // (code, hashtag, theme, tweets, avg_rt, pct_hate, peak, spread)
+            ("JV", "#jamiaviolence", Jamia, 950, 15.45, 3.78, 13.0, 4.0),
+            ("MOTR", "#MigrantsOnTheRoad", Covid, 872, 6.69, 8.20, 57.0, 5.0),
+            ("TTSV", "#timetosackvadras", Politics, 280, 8.19, 1.30, 10.0, 6.0),
+            ("JUA", "#jamiaunderattack", Jamia, 263, 5.80, 6.06, 13.5, 4.0),
+            ("IBN", "#IndiaBoycottsNPR", Protest, 570, 7.87, 0.80, 18.0, 6.0),
+            ("ZNBK", "#ZeeNewsBanKaro", Media, 919, 9.58, 7.01, 20.0, 5.0),
+            ("SCW", "#SaluteCoronaWarriors", Covid, 104, 5.65, 0.0, 49.0, 4.0),
+            ("DEM", "#Demonetisation", Politics, 1696, 3.46, 0.06, 30.0, 9.0),
+            ("CV", "#ChineseVirus", Covid, 8, 0.25, 0.50, 44.0, 3.0),
+            ("IPIM", "#IslamoPhobicIndianMedia", Media, 4307, 15.46, 8.42, 56.0, 6.0),
+            ("DR2020", "#delhiriots2020", DelhiRiots, 1453, 12.23, 6.80, 23.0, 4.0),
+            ("S4S", "#Seva4Society", Covid, 1087, 13.24, 1.53, 60.0, 5.0),
+            ("PMCF", "#PMCaresFunds", Covid, 1172, 7.61, 0.80, 56.0, 4.0),
+            ("C_19", "#COVID_19", Covid, 971, 6.38, 1.96, 52.0, 10.0),
+            ("HUA", "#Hindus_Under_Attack", DelhiRiots, 382, 7.10, 10.10, 24.0, 3.5),
+            ("WP", "#WarisPathan", Politics, 989, 9.23, 12.07, 27.0, 4.0),
+            ("NHR", "#NorthDelhiRiots", DelhiRiots, 3418, 2.89, 0.08, 24.0, 4.0),
+            ("UM", "#UmarKhalid", Protest, 887, 3.82, 0.10, 29.0, 5.0),
+            ("LE", "#lockdownextension", Covid, 107, 1.85, 0.0, 68.0, 2.5),
+            ("JCCTV", "#JamiaCCTV", Jamia, 1045, 12.07, 5.66, 14.0, 3.5),
+            ("TVI", "#TrumpVisitIndia", Politics, 339, 8.47, 2.60, 22.0, 2.5),
+            ("PNOP", "#PutNationOverPublicity", Politics, 555, 13.24, 5.71, 37.0, 5.0),
+            ("DE", "#DelhiExodus", DelhiRiots, 542, 9.66, 7.61, 25.0, 4.0),
+            ("DER", "#DelhiElectionResults", Election, 843, 7.56, 3.20, 8.0, 2.5),
+            ("ASMR", "#amitshahmustresign", Election, 959, 5.01, 9.94, 26.0, 4.5),
+            ("PMP", "#PMPanuti", Election, 1346, 4.06, 0.02, 9.0, 4.0),
+            ("R4GK", "#Restore4GinKashmir", Protest, 949, 3.94, 2.84, 33.0, 7.0),
+            ("DV", "#DelhiViolance", DelhiRiots, 1121, 9.004, 7.37, 24.0, 4.0),
+            ("SNPR", "#StopNPR", Protest, 82, 10.23, 0.0, 19.0, 5.0),
+            ("1C4DH", "#1Crore4DelhiHindu", DelhiRiots, 889, 11.62, 0.99, 26.0, 4.0),
+            ("NV", "#NirbhayaVerdict", Verdict, 649, 7.61, 4.67, 46.0, 3.0),
+            ("NM", "#NizamuddinMarkaz", Covid, 1124, 8.24, 7.85, 58.0, 3.5),
+            ("90DSB", "#90daysofshaheenbagh", Protest, 226, 5.25, 12.04, 40.0, 5.0),
+            ("HML", "#HinduLivesMatter", DelhiRiots, 392, 4.82, 0.12, 25.0, 4.0),
+        ];
+        let topics = rows
+            .into_iter()
+            .enumerate()
+            .map(
+                |(id, (code, hashtag, theme, tweets, avg_rt, pct, peak, spread))| Topic {
+                    id,
+                    code,
+                    hashtag,
+                    theme,
+                    paper_tweets: tweets,
+                    avg_retweets: avg_rt,
+                    pct_hate: pct,
+                    peak_day: peak,
+                    spread_days: spread,
+                    bursts: Vec::new(),
+                },
+            )
+            .collect();
+        Self { topics }
+    }
+
+    /// Number of topics.
+    pub fn len(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// True if the roster is empty (never for the paper roster).
+    pub fn is_empty(&self) -> bool {
+        self.topics.is_empty()
+    }
+
+    /// Topic by id.
+    pub fn get(&self, id: TopicId) -> &Topic {
+        &self.topics[id]
+    }
+
+    /// All topics.
+    pub fn iter(&self) -> impl Iterator<Item = &Topic> {
+        self.topics.iter()
+    }
+
+    /// Scaled tweet target for a topic (at least 4).
+    pub fn scaled_tweets(&self, id: TopicId, scale: f64) -> usize {
+        ((self.topics[id].paper_tweets as f64 * scale).round() as usize).max(4)
+    }
+
+    /// Add 1–3 random event bursts per topic (deterministic under
+    /// `seed`). Burst days lie within ±2σ of the topic's peak.
+    pub fn with_bursts(mut self, seed: u64) -> Self {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for t in &mut self.topics {
+            let n = rng.gen_range(2..=4);
+            for _ in 0..n {
+                let day = t.peak_day + rng.gen_range(-2.0..2.0) * t.spread_days;
+                let strength = rng.gen_range(0.8..2.5);
+                let width = rng.gen_range(0.6..1.8);
+                t.bursts.push((day, strength, width));
+            }
+        }
+        self
+    }
+
+    /// Full (bursty) intensity of a topic on a given fractional day —
+    /// drives tweet volume, news volume and cascade virality.
+    pub fn intensity(&self, id: TopicId, day: f64) -> f64 {
+        self.topics[id].intensity_at(day)
+    }
+
+    /// The top-`k` trending topic ids on a given day, by *smoothed*
+    /// `intensity × paper volume` (instantiates the "top 50 trending
+    /// hashtags for the day" endogenous feature, Section IV-C). Trending
+    /// lists aggregate over the day and lag short-lived bursts, so the
+    /// smooth component is used here — which is precisely why the news
+    /// stream carries exogenous information the endogenous vector lacks.
+    pub fn trending(&self, day: f64, k: usize) -> Vec<TopicId> {
+        let mut ids: Vec<TopicId> = (0..self.topics.len()).collect();
+        ids.sort_by(|&a, &b| {
+            let sa = self.topics[a].smooth_intensity(day) * self.topics[a].paper_tweets as f64;
+            let sb = self.topics[b].smooth_intensity(day) * self.topics[b].paper_tweets as f64;
+            sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        ids.truncate(k);
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_has_34_hashtags() {
+        let r = TopicRoster::paper_roster();
+        assert_eq!(r.len(), 34);
+    }
+
+    #[test]
+    fn table2_spot_checks() {
+        let r = TopicRoster::paper_roster();
+        let jv = r.iter().find(|t| t.code == "JV").unwrap();
+        assert_eq!(jv.paper_tweets, 950);
+        assert!((jv.avg_retweets - 15.45).abs() < 1e-9);
+        assert!((jv.pct_hate - 3.78).abs() < 1e-9);
+        let wp = r.iter().find(|t| t.code == "WP").unwrap();
+        assert!((wp.pct_hate - 12.07).abs() < 1e-9);
+        let scw = r.iter().find(|t| t.code == "SCW").unwrap();
+        assert_eq!(scw.pct_hate, 0.0);
+    }
+
+    #[test]
+    fn hashtags_unique() {
+        let r = TopicRoster::paper_roster();
+        let mut tags: Vec<&str> = r.iter().map(|t| t.hashtag).collect();
+        tags.sort_unstable();
+        let before = tags.len();
+        tags.dedup();
+        assert_eq!(tags.len(), before);
+    }
+
+    #[test]
+    fn intensity_peaks_at_peak_day() {
+        let r = TopicRoster::paper_roster();
+        for t in r.iter() {
+            let at_peak = r.intensity(t.id, t.peak_day);
+            assert!((at_peak - 1.0).abs() < 1e-12);
+            assert!(r.intensity(t.id, t.peak_day + 10.0) < at_peak);
+        }
+    }
+
+    #[test]
+    fn trending_reflects_time() {
+        let r = TopicRoster::paper_roster();
+        // Early window: election results trend; late window: covid cluster.
+        let early = r.trending(8.0, 5);
+        let late = r.trending(58.0, 5);
+        let der = r.iter().find(|t| t.code == "DER").unwrap().id;
+        let nm = r.iter().find(|t| t.code == "NM").unwrap().id;
+        assert!(early.contains(&der), "DER should trend on day 8");
+        assert!(late.contains(&nm), "NM should trend on day 58");
+        assert_ne!(early, late);
+    }
+
+    #[test]
+    fn scaled_tweets_has_floor() {
+        let r = TopicRoster::paper_roster();
+        let cv = r.iter().find(|t| t.code == "CV").unwrap().id;
+        assert_eq!(r.scaled_tweets(cv, 0.2), 4); // 8 * 0.2 = 1.6 -> floor 4
+    }
+
+    #[test]
+    fn themes_group_related_hashtags() {
+        let r = TopicRoster::paper_roster();
+        let jamia: Vec<&str> = r
+            .iter()
+            .filter(|t| t.theme == Theme::Jamia)
+            .map(|t| t.code)
+            .collect();
+        assert_eq!(jamia, vec!["JV", "JUA", "JCCTV"]);
+    }
+}

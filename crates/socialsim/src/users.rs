@@ -1,0 +1,207 @@
+//! User profiles with topic-dependent hate propensity.
+//!
+//! Two empirical facts from the paper shape this module:
+//!
+//! 1. "such users [hate preachers] are often a very small fraction of the
+//!    total users but generate a sizeable portion of the content"
+//!    (Section I, citing Mathew et al.) — so `base_hate` is zero for most
+//!    users and large for a small tail.
+//! 2. "the degree of hatefulness expressed by a user is dependent on the
+//!    topic as well" (Fig. 3) — so a user's effective hatefulness is
+//!    `base_hate × theme_preference[theme]`, with the theme preference a
+//!    sparse profile: a user hateful about one theme is often neutral on
+//!    others.
+
+use crate::topics::{Theme, Topic};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// All themes, in a fixed order for indexing.
+pub const ALL_THEMES: [Theme; 8] = [
+    Theme::Jamia,
+    Theme::DelhiRiots,
+    Theme::Election,
+    Theme::Covid,
+    Theme::Protest,
+    Theme::Media,
+    Theme::Verdict,
+    Theme::Politics,
+];
+
+/// Index of a theme in [`ALL_THEMES`].
+pub fn theme_index(theme: Theme) -> usize {
+    ALL_THEMES.iter().position(|&t| t == theme).unwrap()
+}
+
+/// A synthetic user.
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    /// Dense user id (aligned with the follower graph).
+    pub id: usize,
+    /// Tweets per day propensity (heavy-tailed).
+    pub activity_rate: f64,
+    /// Baseline hatefulness in [0, 1]; ~0 for most users.
+    pub base_hate: f64,
+    /// Per-theme engagement affinity (sums to 1).
+    pub theme_affinity: [f64; 8],
+    /// Per-theme hate preference in [0, 1] (sparse: hate is topical).
+    pub theme_hate_pref: [f64; 8],
+    /// Day (0-based) the account was created, possibly negative
+    /// (before the observation window).
+    pub created_day: f64,
+}
+
+impl UserProfile {
+    /// Relative (uncalibrated) hatefulness of this user on a topic.
+    pub fn hate_weight(&self, topic: &Topic) -> f64 {
+        self.base_hate * self.theme_hate_pref[theme_index(topic.theme)]
+    }
+
+    /// Relative probability that this user tweets on a topic.
+    pub fn topic_weight(&self, topic: &Topic) -> f64 {
+        self.theme_affinity[theme_index(topic.theme)]
+    }
+}
+
+/// Generate `n` user profiles.
+pub fn generate_users(n: usize, n_days: usize, seed: u64) -> Vec<UserProfile> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|id| {
+            // Heavy-tailed activity: Pareto-like via inverse transform.
+            let u: f64 = rng.gen_range(0.001..1.0);
+            let activity_rate = (0.08 / u.powf(0.8)).min(6.0);
+
+            // ~8% of users carry non-trivial hate; among them, intensity
+            // is beta-shaped towards moderate values with a hateful tail.
+            let base_hate = if rng.gen_bool(0.08) {
+                let a: f64 = rng.gen_range(0.0f64..1.0).max(rng.gen_range(0.0..1.0));
+                0.3 + 0.7 * a
+            } else if rng.gen_bool(0.10) {
+                rng.gen_range(0.0..0.15)
+            } else {
+                0.0
+            };
+
+            // Theme affinity: exponential weights over 2-4 themes.
+            let mut theme_affinity = [0.0f64; 8];
+            let k = rng.gen_range(2..=4);
+            for _ in 0..k {
+                let t = rng.gen_range(0..8);
+                theme_affinity[t] += -(rng.gen_range(0.0001f64..1.0)).ln();
+            }
+            let sum: f64 = theme_affinity.iter().sum();
+            for a in &mut theme_affinity {
+                *a /= sum;
+            }
+
+            // Hate preference: concentrated on 1-2 themes the user also
+            // engages with (hate follows attention).
+            let mut theme_hate_pref = [0.0f64; 8];
+            if base_hate > 0.0 {
+                let mut themed: Vec<usize> = (0..8).collect();
+                themed.sort_by(|&a, &b| {
+                    theme_affinity[b]
+                        .partial_cmp(&theme_affinity[a])
+                        .unwrap()
+                });
+                let n_hate_themes = rng.gen_range(1..=2);
+                for &t in themed.iter().take(n_hate_themes) {
+                    theme_hate_pref[t] = rng.gen_range(0.5..1.0);
+                }
+                // Faint leakage elsewhere.
+                for p in &mut theme_hate_pref {
+                    if *p == 0.0 && rng.gen_bool(0.15) {
+                        *p = rng.gen_range(0.0..0.2);
+                    }
+                }
+            }
+
+            let created_day = rng.gen_range(-2000.0..(n_days as f64) * 0.5);
+            UserProfile {
+                id,
+                activity_rate,
+                base_hate,
+                theme_affinity,
+                theme_hate_pref,
+                created_day,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topics::TopicRoster;
+
+    #[test]
+    fn affinities_sum_to_one() {
+        let users = generate_users(200, 71, 0);
+        for u in &users {
+            let s: f64 = u.theme_affinity.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hate_is_a_small_fraction() {
+        let users = generate_users(2000, 71, 1);
+        let hateful = users.iter().filter(|u| u.base_hate > 0.3).count();
+        let frac = hateful as f64 / users.len() as f64;
+        assert!(
+            (0.03..0.15).contains(&frac),
+            "hateful-user fraction {frac} out of expected band"
+        );
+    }
+
+    #[test]
+    fn hate_is_topic_dependent() {
+        // A hateful user should have at least one theme with much higher
+        // hate preference than another (Fig. 3's heterogeneity).
+        let users = generate_users(2000, 71, 2);
+        let mut found = false;
+        for u in &users {
+            if u.base_hate > 0.3 {
+                let max = u.theme_hate_pref.iter().cloned().fold(0.0, f64::max);
+                let min = u.theme_hate_pref.iter().cloned().fold(1.0, f64::min);
+                if max > 0.5 && min < 0.1 {
+                    found = true;
+                    break;
+                }
+            }
+        }
+        assert!(found, "no user with topic-concentrated hate found");
+    }
+
+    #[test]
+    fn hate_weight_combines_base_and_theme() {
+        let roster = TopicRoster::paper_roster();
+        let users = generate_users(500, 71, 3);
+        let hateful = users.iter().find(|u| u.base_hate > 0.3).unwrap();
+        let weights: Vec<f64> = roster.iter().map(|t| hateful.hate_weight(t)).collect();
+        assert!(weights.iter().any(|&w| w > 0.0));
+        // A user with base_hate 0 has zero weight everywhere.
+        let peaceful = users.iter().find(|u| u.base_hate == 0.0).unwrap();
+        assert!(roster.iter().all(|t| peaceful.hate_weight(t) == 0.0));
+    }
+
+    #[test]
+    fn activity_heavy_tailed() {
+        let users = generate_users(2000, 71, 4);
+        let mean: f64 =
+            users.iter().map(|u| u.activity_rate).sum::<f64>() / users.len() as f64;
+        let max = users.iter().map(|u| u.activity_rate).fold(0.0, f64::max);
+        assert!(max > 4.0 * mean, "activity max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate_users(50, 71, 9);
+        let b = generate_users(50, 71, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.base_hate, y.base_hate);
+            assert_eq!(x.theme_affinity, y.theme_affinity);
+        }
+    }
+}

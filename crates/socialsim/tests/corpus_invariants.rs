@@ -1,0 +1,108 @@
+//! Corpus-level invariants across generator configurations.
+
+use proptest::prelude::*;
+use socialsim::{Dataset, SimConfig};
+
+fn tiny_with(seed: u64, scale: f64, users: usize) -> Dataset {
+    Dataset::generate(SimConfig {
+        seed,
+        tweet_scale: scale,
+        n_users: users,
+        ..SimConfig::tiny()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Structural invariants hold for any seed / small scale.
+    #[test]
+    fn corpus_invariants_hold(seed in 0u64..10_000, users in 150usize..400) {
+        let data = tiny_with(seed, 0.02, users);
+        let span = data.config().span_hours();
+        for t in data.tweets() {
+            // Times within the window.
+            prop_assert!(t.time_hours >= 0.0 && t.time_hours <= span);
+            // Retweets strictly after the root, sorted, by valid users,
+            // never by the author.
+            let mut last = t.time_hours;
+            for r in &t.retweets {
+                prop_assert!(r.time_hours > t.time_hours);
+                prop_assert!(r.time_hours >= last);
+                prop_assert!((r.user as usize) < users);
+                prop_assert!(r.user as usize != t.user);
+                last = r.time_hours;
+            }
+            // Tokens non-empty, topic valid.
+            prop_assert!(!t.tokens.is_empty());
+            prop_assert!(t.topic < data.roster().len());
+            prop_assert!(t.user < users);
+        }
+        // Cascade cap respected.
+        let max = data.tweets().iter().map(|t| t.retweets.len()).max().unwrap_or(0);
+        prop_assert!(max <= data.config().max_retweets);
+    }
+
+    /// No cascade contains the same retweeter twice.
+    #[test]
+    fn retweeters_unique(seed in 0u64..10_000) {
+        let data = tiny_with(seed, 0.02, 200);
+        for t in data.tweets() {
+            let mut users: Vec<u32> = t.retweets.iter().map(|r| r.user).collect();
+            users.sort_unstable();
+            let before = users.len();
+            users.dedup();
+            prop_assert_eq!(users.len(), before);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_give_different_corpora() {
+    let a = tiny_with(1, 0.02, 200);
+    let b = tiny_with(2, 0.02, 200);
+    let ta: Vec<&Vec<String>> = a.tweets().iter().take(20).map(|t| &t.tokens).collect();
+    let tb: Vec<&Vec<String>> = b.tweets().iter().take(20).map(|t| &t.tokens).collect();
+    assert_ne!(ta, tb, "seeds must matter");
+}
+
+#[test]
+fn hashtag_targets_hit_exactly_at_any_scale() {
+    for scale in [0.02, 0.05] {
+        let data = tiny_with(7, scale, 250);
+        for s in data.hashtag_stats() {
+            let expect = data.roster().scaled_tweets(s.topic, scale);
+            assert_eq!(s.tweets, expect);
+        }
+    }
+}
+
+#[test]
+fn news_stream_is_chronological_and_tokenized() {
+    let data = tiny_with(9, 0.02, 200);
+    let mut last = 0.0;
+    for n in data.news() {
+        assert!(n.time_hours >= last);
+        assert!(!n.tokens.is_empty());
+        last = n.time_hours;
+    }
+}
+
+#[test]
+fn lexicon_terms_actually_appear_in_hateful_text() {
+    let data = tiny_with(11, 0.05, 300);
+    let lex = text::HateLexicon::new(&data.lexicon_terms());
+    let mut hate_hits = 0usize;
+    let mut hate_total = 0usize;
+    for t in data.tweets().iter().filter(|t| t.hate) {
+        hate_total += 1;
+        if lex.total_hits(&t.tokens) > 0 {
+            hate_hits += 1;
+        }
+    }
+    assert!(hate_total > 0);
+    assert!(
+        hate_hits as f64 / hate_total as f64 > 0.9,
+        "hateful tweets should carry lexicon terms ({hate_hits}/{hate_total})"
+    );
+}

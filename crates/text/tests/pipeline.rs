@@ -1,0 +1,86 @@
+//! Text-pipeline integration: tokenizer → vocabulary → TF-IDF → Doc2Vec
+//! working together on a miniature corpus, plus embedding-quality checks.
+
+use text::similarity::cosine_dense;
+use text::{Doc2Vec, Doc2VecConfig, HateLexicon, TfIdfConfig, TfIdfVectorizer};
+
+fn corpus() -> Vec<String> {
+    let mut docs = Vec::new();
+    for i in 0..30 {
+        docs.push(format!("cricket bat ball wicket over run cricket stadium {i}"));
+        docs.push(format!("election vote poll booth minister party seat {i}"));
+        docs.push(format!("virus lockdown mask vaccine hospital doctor case {i}"));
+    }
+    docs
+}
+
+#[test]
+fn tfidf_separates_topics() {
+    let docs = corpus();
+    let v = TfIdfVectorizer::fit(
+        &docs,
+        TfIdfConfig {
+            top_k: Some(50),
+            min_df: 2,
+            use_bigrams: false,
+            l2_normalize: true,
+            ..Default::default()
+        },
+    );
+    let cricket = v.transform("cricket ball wicket");
+    let cricket2 = v.transform("cricket bat run");
+    let election = v.transform("election vote minister");
+    let same = cosine_dense(&cricket, &cricket2);
+    let cross = cosine_dense(&cricket, &election);
+    assert!(
+        same > cross + 0.2,
+        "TF-IDF topical separation too weak: same {same}, cross {cross}"
+    );
+}
+
+#[test]
+fn doc2vec_clusters_topics_end_to_end() {
+    let docs = corpus();
+    let tokenized: Vec<Vec<String>> = docs.iter().map(|d| text::tokenize(d)).collect();
+    let model = Doc2Vec::train(
+        &tokenized,
+        Doc2VecConfig {
+            dim: 24,
+            epochs: 30,
+            ..Default::default()
+        },
+    );
+    // Docs 0, 3, 6, ... are cricket; 1, 4, 7 ... election.
+    let mut same = 0.0;
+    let mut cross = 0.0;
+    let mut n = 0.0;
+    for i in (0..27).step_by(3) {
+        same += cosine_dense(model.doc_vector(i), model.doc_vector(i + 3));
+        cross += cosine_dense(model.doc_vector(i), model.doc_vector(i + 1));
+        n += 1.0;
+    }
+    assert!(
+        same / n > cross / n,
+        "Doc2Vec topical clustering failed: same {} vs cross {}",
+        same / n,
+        cross / n
+    );
+}
+
+#[test]
+fn lexicon_and_tokenizer_compose() {
+    let lex = HateLexicon::new(&["slur0", "go back"]);
+    let toks = text::tokenize("You SLUR0! Go Back home. #hate");
+    let counts = lex.count_vector(&toks);
+    assert_eq!(counts, vec![1, 1]);
+}
+
+#[test]
+fn tfidf_dimension_stability_across_transforms() {
+    let docs = corpus();
+    let v = TfIdfVectorizer::fit(&docs, TfIdfConfig::default());
+    let d = v.dim();
+    for input in ["", "cricket", "completely novel words here", &docs[0]] {
+        assert_eq!(v.transform(input).len(), d);
+    }
+}

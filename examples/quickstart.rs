@@ -1,0 +1,95 @@
+//! Quickstart: generate a synthetic corpus, train the silver-label hate
+//! detector, and train RETINA-S on the retweet-prediction task — the
+//! minimal end-to-end tour of the public API.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use diffusion::{split_samples, RetweetTask};
+use ml::metrics::ClassificationReport;
+use retina_core::detector::HateDetector;
+use retina_core::features::{RetweetFeatures, TextModels};
+use retina_core::retina::{default_intervals, pack_sample, Retina, RetinaConfig};
+use retina_core::trainer::{train_retina, TrainConfig};
+use socialsim::{Dataset, SimConfig};
+
+fn main() {
+    // 1. Generate a small synthetic Twitter corpus (deterministic seed).
+    println!("== 1. generating corpus ==");
+    let data = Dataset::generate(SimConfig {
+        tweet_scale: 0.04,
+        n_users: 300,
+        ..SimConfig::tiny()
+    });
+    println!(
+        "   {} tweets ({} hashtag roots), {} users, {} news headlines",
+        data.tweets().len(),
+        data.root_tweets().count(),
+        data.users().len(),
+        data.news().len()
+    );
+
+    // 2. Train the text models (TF-IDF, Doc2Vec, lexicon).
+    println!("== 2. training text models ==");
+    let models = TextModels::build(&data, 3);
+    println!(
+        "   tweet TF-IDF dim {}, news TF-IDF dim {}, lexicon {} entries",
+        models.tweet_tfidf.dim(),
+        models.news_tfidf.dim(),
+        models.lexicon.len()
+    );
+
+    // 3. Davidson-style hate detector -> silver labels (Section VI-B).
+    println!("== 3. training hate detector ==");
+    let detector = HateDetector::train(&data, &models, 0.6, 7);
+    println!("   held-out gold performance: {}", detector.report);
+    let silver = detector.silver_labels(&data, &models);
+
+    // 4. Build the retweeter-prediction task (Section V).
+    println!("== 4. building retweet task ==");
+    let samples = RetweetTask {
+        min_news: 20,
+        max_candidates: 30,
+        ..Default::default()
+    }
+    .build(&data);
+    let (train, test) = split_samples(samples, 0.8, 1);
+    println!("   {} train / {} test root tweets", train.len(), test.len());
+
+    // 5. Pack features and train RETINA-S.
+    println!("== 5. training RETINA-S ==");
+    let feats = RetweetFeatures::new(&data, &models, &silver);
+    let intervals = default_intervals();
+    let packed_train: Vec<_> = train
+        .iter()
+        .map(|s| pack_sample(&feats, s, &intervals, 15))
+        .collect();
+    let packed_test: Vec<_> = test
+        .iter()
+        .map(|s| pack_sample(&feats, s, &intervals, 15))
+        .collect();
+    let d_user = packed_train[0].user_rows[0].len();
+    let mut model = Retina::new(d_user, RetinaConfig::static_default());
+    let losses = train_retina(
+        &mut model,
+        &packed_train,
+        &TrainConfig {
+            epochs: 4,
+            ..TrainConfig::static_default()
+        },
+    );
+    println!("   epoch losses: {losses:?}");
+
+    // 6. Evaluate.
+    println!("== 6. evaluating ==");
+    let mut ys = Vec::new();
+    let mut ss = Vec::new();
+    for p in &packed_test {
+        ss.extend(model.predict_proba(p));
+        ys.extend_from_slice(&p.labels);
+    }
+    let report = ClassificationReport::from_scores(&ys, &ss);
+    println!("   RETINA-S on held-out tweets: {report}");
+    println!("done.");
+}

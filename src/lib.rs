@@ -1,0 +1,21 @@
+//! Umbrella package for the RETINA reproduction workspace.
+//!
+//! This root package exists to host the runnable `examples/` and the
+//! cross-crate integration tests in `tests/`. The actual library surface
+//! lives in the workspace crates:
+//!
+//! * [`socialsim`] — synthetic Twitter substrate (follower graph, tweets,
+//!   cascades, news stream).
+//! * [`text`] — tokenization, TF-IDF, Doc2Vec, hate lexicon.
+//! * [`ml`] — classical classifiers, feature processing, metrics.
+//! * [`nn`] — tensors, layers (Dense/GRU/attention), optimizers.
+//! * [`diffusion`] — SIR, threshold model and neural diffusion baselines.
+//! * [`retina_core`] — the paper's contribution: hate-generation models and
+//!   the RETINA retweeter-prediction architecture, plus every experiment.
+
+pub use diffusion;
+pub use ml;
+pub use nn;
+pub use retina_core;
+pub use socialsim;
+pub use text;

@@ -1,0 +1,117 @@
+//! Cross-crate integration: the full pipeline from corpus generation to
+//! trained models, at smoke scale.
+
+use diffusion::{split_samples, RetweetTask};
+use ml::metrics::ClassificationReport;
+use retina_core::detector::HateDetector;
+use retina_core::features::{HategenFeatures, RetweetFeatures, TextModels};
+use retina_core::hategen::{HategenPipeline, ModelKind, Processing};
+use retina_core::retina::{default_intervals, pack_sample, Retina, RetinaConfig};
+use retina_core::trainer::{train_retina, TrainConfig};
+use socialsim::{Dataset, SimConfig};
+
+fn corpus() -> Dataset {
+    Dataset::generate(SimConfig {
+        tweet_scale: 0.04,
+        n_users: 300,
+        ..SimConfig::tiny()
+    })
+}
+
+#[test]
+fn full_hategen_pipeline_runs() {
+    let data = corpus();
+    let models = TextModels::build(&data, 2);
+    let det = HateDetector::train(&data, &models, 0.6, 0);
+    assert!(det.report.auc > 0.7, "detector AUC {}", det.report.auc);
+    let silver = det.silver_labels(&data, &models);
+    let feats = HategenFeatures::new(&data, &models, &silver);
+    let samples = HategenPipeline::build_samples(&data, 20);
+    assert!(samples.len() > 100);
+    let pipe = HategenPipeline::new(&feats, &samples, None, 0);
+    let rep = pipe.run_cell(ModelKind::DecTree, Processing::Downsample);
+    assert!(rep.macro_f1 > 0.0 && rep.macro_f1 <= 1.0);
+    assert!(rep.auc.is_finite());
+}
+
+#[test]
+fn full_retina_pipeline_runs() {
+    let data = corpus();
+    let models = TextModels::build(&data, 2);
+    let det = HateDetector::train(&data, &models, 0.6, 0);
+    let silver = det.silver_labels(&data, &models);
+    let feats = RetweetFeatures::new(&data, &models, &silver);
+    let samples = RetweetTask {
+        min_news: 20,
+        max_candidates: 30,
+        ..Default::default()
+    }
+    .build(&data);
+    assert!(!samples.is_empty());
+    let (train, test) = split_samples(samples, 0.8, 1);
+    let intervals = default_intervals();
+    let pt: Vec<_> = train
+        .iter()
+        .map(|s| pack_sample(&feats, s, &intervals, 10))
+        .collect();
+    let pe: Vec<_> = test
+        .iter()
+        .map(|s| pack_sample(&feats, s, &intervals, 10))
+        .collect();
+    let d = pt[0].user_rows[0].len();
+    assert_eq!(d, feats.retina_dim());
+
+    let mut model = Retina::new(d, RetinaConfig::static_default());
+    let losses = train_retina(
+        &mut model,
+        &pt,
+        &TrainConfig {
+            epochs: 3,
+            ..TrainConfig::static_default()
+        },
+    );
+    assert!(
+        losses.last().unwrap() < &losses[0],
+        "training loss must fall: {losses:?}"
+    );
+    let mut ys = Vec::new();
+    let mut ss = Vec::new();
+    for p in &pe {
+        let probs = model.predict_proba(p);
+        assert!(probs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        ss.extend(probs);
+        ys.extend_from_slice(&p.labels);
+    }
+    let rep = ClassificationReport::from_scores(&ys, &ss);
+    assert!(rep.auc.is_finite());
+}
+
+#[test]
+fn pipeline_deterministic_under_seed() {
+    let run = || {
+        let data = corpus();
+        let models = TextModels::build(&data, 2);
+        let det = HateDetector::train(&data, &models, 0.6, 0);
+        let silver = det.silver_labels(&data, &models);
+        let feats = HategenFeatures::new(&data, &models, &silver);
+        let t = data.root_tweets().nth(5).unwrap();
+        feats.extract(t.user, t.topic, t.time_hours, None)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn silver_and_gold_labels_differ_but_correlate() {
+    let data = corpus();
+    let models = TextModels::build(&data, 2);
+    let det = HateDetector::train(&data, &models, 0.6, 0);
+    let silver = det.silver_labels(&data, &models);
+    let gold: Vec<bool> = data.tweets().iter().map(|t| t.hate).collect();
+    let agree = silver
+        .iter()
+        .zip(&gold)
+        .filter(|(s, g)| s == g)
+        .count() as f64
+        / gold.len() as f64;
+    assert!(agree > 0.85, "agreement {agree}");
+}

@@ -1,0 +1,87 @@
+//! Experiment-scale shape assertions: the qualitative claims of the
+//! paper's figures must hold on a corpus large enough for stable
+//! statistics. These are the same checks the `exp_*` binaries print.
+//!
+//! Kept at a "medium" scale so the whole file runs in a couple of minutes
+//! in release mode.
+
+use retina_core::experiments::{fig1, fig2, fig3};
+use socialsim::{Dataset, SimConfig};
+
+fn medium_corpus() -> Dataset {
+    Dataset::generate(SimConfig {
+        tweet_scale: 0.1,
+        n_users: 800,
+        ..SimConfig::tiny()
+    })
+}
+
+#[test]
+fn fig1_hate_diffusion_shape() {
+    let data = medium_corpus();
+    let pts = fig1::run(&data, &fig1::default_offsets());
+    let (more_rts, fewer_sus) = fig1::shape_holds(&pts);
+    assert!(more_rts, "hateful cascades must out-retweet non-hate");
+    assert!(
+        fewer_sus,
+        "hateful cascades must expose fewer susceptible users"
+    );
+    // Front-loading: hate reaches half its final mass earlier.
+    let last = pts.last().unwrap();
+    let half_hate = pts
+        .iter()
+        .find(|p| p.retweets_hate >= last.retweets_hate / 2.0)
+        .unwrap()
+        .offset_hours;
+    let half_clean = pts
+        .iter()
+        .find(|p| p.retweets_nonhate >= last.retweets_nonhate / 2.0)
+        .unwrap()
+        .offset_hours;
+    assert!(
+        half_hate <= half_clean,
+        "hate half-mass at {half_hate}h vs non-hate {half_clean}h"
+    );
+}
+
+#[test]
+fn fig2_hashtag_hate_ordering_tracks_paper() {
+    let data = medium_corpus();
+    let rows = fig2::run(&data);
+    let rho = fig2::rank_correlation(&rows);
+    assert!(rho > 0.55, "rank correlation {rho}");
+}
+
+#[test]
+fn fig3_hate_is_topic_dependent() {
+    let data = medium_corpus();
+    let map = fig3::run(&data, 10, 12);
+    let spread = fig3::mean_spread(&map);
+    assert!(
+        spread > 0.25,
+        "hateful users must vary across hashtags (spread {spread})"
+    );
+}
+
+#[test]
+fn cascade_statistics_match_paper_scale() {
+    let data = medium_corpus();
+    let roots: Vec<_> = data.root_tweets().collect();
+    let avg: f64 =
+        roots.iter().map(|t| t.retweets.len()).sum::<usize>() as f64 / roots.len() as f64;
+    // Paper: per-hashtag averages range 0.25..15.5, corpus max 196.
+    assert!(
+        (1.0..20.0).contains(&avg),
+        "average retweets {avg} out of paper band"
+    );
+    let max = roots.iter().map(|t| t.retweets.len()).max().unwrap();
+    assert!(max <= 200, "cascade cap violated: {max}");
+    assert!(max > 20, "heavy tail missing: max {max}");
+    // Enough eligible tweets for the retweet task (>1 retweet).
+    let eligible = roots.iter().filter(|t| t.retweets.len() > 1).count();
+    assert!(
+        eligible as f64 / roots.len() as f64 > 0.2,
+        "eligible fraction too small: {eligible}/{}",
+        roots.len()
+    );
+}

@@ -1,0 +1,65 @@
+//! Parallel feature packing must be byte-identical to the serial path.
+
+use diffusion::RetweetTask;
+use retina_core::detector::HateDetector;
+use retina_core::features::{RetweetFeatures, TextModels};
+use retina_core::retina::{default_intervals, pack_sample, pack_samples_parallel};
+use socialsim::{Dataset, SimConfig};
+
+#[test]
+fn parallel_packing_matches_serial() {
+    let data = Dataset::generate(SimConfig {
+        tweet_scale: 0.04,
+        n_users: 300,
+        ..SimConfig::tiny()
+    });
+    let models = TextModels::build(&data, 2);
+    let det = HateDetector::train(&data, &models, 0.6, 0);
+    let silver = det.silver_labels(&data, &models);
+    let feats = RetweetFeatures::new(&data, &models, &silver);
+    let samples = RetweetTask {
+        min_news: 10,
+        max_candidates: 25,
+        ..Default::default()
+    }
+    .build(&data);
+    assert!(samples.len() >= 8, "need enough samples to exercise chunks");
+    let intervals = default_intervals();
+
+    let serial: Vec<_> = samples
+        .iter()
+        .map(|s| pack_sample(&feats, s, &intervals, 10))
+        .collect();
+    let parallel = pack_samples_parallel(&feats, &samples, &intervals, 10, 4);
+
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.user_rows, b.user_rows);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.interval_labels, b.interval_labels);
+        assert_eq!(a.tweet_d2v, b.tweet_d2v);
+        assert_eq!(a.news_d2v, b.news_d2v);
+    }
+}
+
+#[test]
+fn parallel_packing_single_thread_fallback() {
+    let data = Dataset::generate(SimConfig {
+        tweet_scale: 0.03,
+        n_users: 250,
+        ..SimConfig::tiny()
+    });
+    let models = TextModels::build(&data, 2);
+    let det = HateDetector::train(&data, &models, 0.6, 0);
+    let silver = det.silver_labels(&data, &models);
+    let feats = RetweetFeatures::new(&data, &models, &silver);
+    let samples = RetweetTask {
+        min_news: 5,
+        max_candidates: 15,
+        ..Default::default()
+    }
+    .build(&data);
+    let intervals = default_intervals();
+    let packs = pack_samples_parallel(&feats, &samples, &intervals, 5, 1);
+    assert_eq!(packs.len(), samples.len());
+}
