@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Local CI gate — run before pushing. Fails fast on the first broken step.
+#
+#   ./ci.sh            # fmt-check, lint, release build, tests
+#   ./ci.sh --sanitize # additionally run the test-suite with the numeric
+#                      # sanitizer enabled (--features sanitize)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+if cargo fmt --version >/dev/null 2>&1; then
+    step "cargo fmt --check"
+    cargo fmt --all -- --check
+else
+    echo "rustfmt unavailable — skipping format check"
+fi
+
+step "xtask lint"
+cargo run -p xtask -- lint
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test"
+cargo test -q
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+    step "cargo test --features sanitize"
+    cargo test -q --features sanitize
+fi
+
+printf '\nci.sh: all gates passed\n'

@@ -15,7 +15,10 @@ fn xor_data(n: usize) -> (Vec<Vec<f64>>, Vec<u8>) {
     for _ in 0..n {
         let a: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
         let b: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-        x.push(vec![a + rng.gen_range(-0.3..0.3), b + rng.gen_range(-0.3..0.3)]);
+        x.push(vec![
+            a + rng.gen_range(-0.3..0.3),
+            b + rng.gen_range(-0.3..0.3),
+        ]);
         y.push(u8::from(a * b > 0.0));
     }
     (x, y)

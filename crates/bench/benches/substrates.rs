@@ -24,7 +24,14 @@ fn bench_graph(c: &mut Criterion) {
 
 fn bench_text(c: &mut Criterion) {
     let docs: Vec<String> = (0..500)
-        .map(|i| format!("word{} common token{} filler text number {}", i % 50, i % 13, i))
+        .map(|i| {
+            format!(
+                "word{} common token{} filler text number {}",
+                i % 50,
+                i % 13,
+                i
+            )
+        })
         .collect();
     c.bench_function("text/tfidf_fit_500_docs", |b| {
         b.iter(|| TfIdfVectorizer::fit(black_box(&docs), TfIdfConfig::default()))
@@ -54,7 +61,9 @@ fn bench_text(c: &mut Criterion) {
 fn bench_nn(c: &mut Criterion) {
     // Attention at RETINA's production shape: 60 news, hdim 64.
     let xt = Matrix::xavier_seeded(1, 50, 1);
-    let xn: Vec<Matrix> = (0..60).map(|i| Matrix::xavier_seeded(1, 50, 2 + i)).collect();
+    let xn: Vec<Matrix> = (0..60)
+        .map(|i| Matrix::xavier_seeded(1, 50, 2 + i))
+        .collect();
     c.bench_function("nn/attention_fwd_bwd_60news", |b| {
         b.iter_batched(
             || ExogenousAttention::new(50, 50, 64, 0),

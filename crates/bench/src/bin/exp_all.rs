@@ -37,7 +37,10 @@ fn main() {
     for r in &rows {
         println!("{r}");
     }
-    println!("rank correlation vs paper: {:.3}", fig2::rank_correlation(&rows));
+    println!(
+        "rank correlation vs paper: {:.3}",
+        fig2::rank_correlation(&rows)
+    );
 
     header("Figure 3 — user × hashtag hatefulness");
     let map = fig3::run(&ctx.data, 10, 12);

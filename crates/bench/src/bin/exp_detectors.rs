@@ -27,8 +27,7 @@ fn main() {
 
     header("Temporal transfer (pretrained-degradation analogue)");
     for kind in DetectorKind::ALL {
-        let (in_era, transfer) =
-            temporal_transfer(&ctx.data, &ctx.models, kind, opts.config.seed);
+        let (in_era, transfer) = temporal_transfer(&ctx.data, &ctx.models, kind, opts.config.seed);
         println!(
             "{:20} in-era  {in_era}\n{:20} transfer {transfer}",
             kind.name(),

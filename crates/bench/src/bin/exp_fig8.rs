@@ -6,8 +6,8 @@
 //! ```
 
 use bench::{build_context, header, parse_options};
-use retina_core::experiments::retweet_suite::{run as run_suite, SuiteConfig, SuiteModels};
 use retina_core::experiments::fig8;
+use retina_core::experiments::retweet_suite::{run as run_suite, SuiteConfig, SuiteModels};
 
 fn main() {
     let opts = parse_options();

@@ -15,5 +15,8 @@ fn main() {
         println!("{row}");
     }
     let rate = ctx.data.overall_hate_rate();
-    println!("\noverall hate rate: {:.2}% (paper corpus: ~4%)", rate * 100.0);
+    println!(
+        "\noverall hate rate: {:.2}% (paper corpus: ~4%)",
+        rate * 100.0
+    );
 }

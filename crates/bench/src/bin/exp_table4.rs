@@ -45,5 +45,8 @@ fn main() {
         best.proc.name(),
         best.report.macro_f1
     );
-    eprintln!("[timing] grid completed in {:.1}s", t.elapsed().as_secs_f64());
+    eprintln!(
+        "[timing] grid completed in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
 }

@@ -31,5 +31,8 @@ fn main() {
     println!("\npaper shape: RETINA-D leads MAP@20: {d_leads}");
     println!("paper shape: exogenous attention helps RETINA: {exo_helps}");
     println!("paper shape: SIR / Gen.Thresh. collapse: {rudimentary}");
-    eprintln!("[timing] suite completed in {:.1}s", t.elapsed().as_secs_f64());
+    eprintln!(
+        "[timing] suite completed in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
 }

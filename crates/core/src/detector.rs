@@ -16,7 +16,7 @@
 //! on the latest 30% (new hashtags have emerged in between).
 
 use crate::features::TextModels;
-use ml::{Classifier, ClassificationReport, LogisticRegression, LogisticRegressionConfig};
+use ml::{ClassificationReport, Classifier, LogisticRegression, LogisticRegressionConfig};
 use nn::{Activation, ActivationKind, Adam, Dense, Matrix, Optimizer, WeightedBce};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -55,7 +55,11 @@ impl DetectorKind {
 
 enum DetectorModel {
     LogReg(LogisticRegression),
-    Mlp { l1: Dense, act: Activation, l2: Dense },
+    Mlp {
+        l1: Dense,
+        act: Activation,
+        l2: Dense,
+    },
 }
 
 /// A fitted hate detector plus its evaluation on held-out gold data.
@@ -211,6 +215,7 @@ impl HateDetector {
             DetectorKind::WaseemHovy => {
                 let grams = text::char_ngrams(toks, 2, 4);
                 char_tfidf
+                    // lint: allow(unwrap) fit() builds the char vectorizer for this kind
                     .expect("char vectorizer missing")
                     .transform_tokens(&grams)
             }

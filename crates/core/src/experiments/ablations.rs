@@ -7,7 +7,7 @@
 
 use super::ExperimentContext;
 use crate::features::RetweetFeatures;
-use crate::retina::{pack_sample, Retina, RetinaConfig, RetinaMode, RecurrentKind};
+use crate::retina::{pack_sample, RecurrentKind, Retina, RetinaConfig, RetinaMode};
 use crate::trainer::{train_retina, TrainConfig};
 use diffusion::{split_samples, CascadeSample, RetweetTask};
 use ml::metrics::ClassificationReport;
@@ -162,46 +162,50 @@ pub fn recurrent_sweep(ctx: &ExperimentContext, cfg: &AblationConfig) -> Vec<Rec
         .collect();
     let d_user = packed_train[0].user_rows[0].len();
 
-    [RecurrentKind::Gru, RecurrentKind::Lstm, RecurrentKind::SimpleRnn]
-        .into_iter()
-        .map(|cell| {
-            let mut model = Retina::new(
-                d_user,
-                RetinaConfig {
-                    mode: RetinaMode::Dynamic,
-                    recurrent: cell,
-                    news_k,
-                    seed: cfg.seed,
-                    ..RetinaConfig::static_default()
-                },
-            );
-            train_retina(
-                &mut model,
-                &packed_train,
-                &TrainConfig {
-                    epochs: cfg.epochs,
-                    ..TrainConfig::dynamic_default()
-                },
-            );
-            let mut ys = Vec::new();
-            let mut ss = Vec::new();
-            for p in &packed_test {
-                let probs = model.predict_proba_dynamic(p);
-                for (r, row) in p.interval_labels.iter().enumerate() {
-                    for (t, &l) in row.iter().enumerate() {
-                        ys.push(l);
-                        ss.push(probs.get(r, t));
-                    }
+    [
+        RecurrentKind::Gru,
+        RecurrentKind::Lstm,
+        RecurrentKind::SimpleRnn,
+    ]
+    .into_iter()
+    .map(|cell| {
+        let mut model = Retina::new(
+            d_user,
+            RetinaConfig {
+                mode: RetinaMode::Dynamic,
+                recurrent: cell,
+                news_k,
+                seed: cfg.seed,
+                ..RetinaConfig::static_default()
+            },
+        );
+        train_retina(
+            &mut model,
+            &packed_train,
+            &TrainConfig {
+                epochs: cfg.epochs,
+                ..TrainConfig::dynamic_default()
+            },
+        );
+        let mut ys = Vec::new();
+        let mut ss = Vec::new();
+        for p in &packed_test {
+            let probs = model.predict_proba_dynamic(p);
+            for (r, row) in p.interval_labels.iter().enumerate() {
+                for (t, &l) in row.iter().enumerate() {
+                    ys.push(l);
+                    ss.push(probs.get(r, t));
                 }
             }
-            let rep = ClassificationReport::from_scores(&ys, &ss);
-            RecurrentSweepRow {
-                cell,
-                dynamic_f1: rep.macro_f1,
-                dynamic_auc: rep.auc,
-            }
-        })
-        .collect()
+        }
+        let rep = ClassificationReport::from_scores(&ys, &ss);
+        RecurrentSweepRow {
+            cell,
+            dynamic_f1: rep.macro_f1,
+            dynamic_auc: rep.auc,
+        }
+    })
+    .collect()
 }
 
 #[cfg(test)]

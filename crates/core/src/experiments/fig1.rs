@@ -40,7 +40,9 @@ impl std::fmt::Display for Fig1Point {
 
 /// The default time grid (hours).
 pub fn default_offsets() -> Vec<f64> {
-    vec![0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 48.0, 96.0, 168.0, 336.0]
+    vec![
+        0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 48.0, 96.0, 168.0, 336.0,
+    ]
 }
 
 /// Compute the Fig. 1 curves over all root tweets with ≥1 retweet.
@@ -87,7 +89,9 @@ pub fn run(data: &Dataset, offsets: &[f64]) -> Vec<Fig1Point> {
 /// (1) hateful cascades out-retweet non-hate ones at the horizon;
 /// (2) hateful roots expose fewer susceptible users at the horizon.
 pub fn shape_holds(points: &[Fig1Point]) -> (bool, bool) {
-    let last = points.last().expect("non-empty grid");
+    let Some(last) = points.last() else {
+        return (false, false);
+    };
     (
         last.retweets_hate > last.retweets_nonhate,
         last.susceptible_hate < last.susceptible_nonhate,
@@ -119,7 +123,10 @@ mod tests {
         }
         let (more_rts, fewer_sus) = shape_holds(&pts);
         assert!(more_rts, "hateful cascades should out-retweet non-hate");
-        assert!(fewer_sus, "hateful cascades should expose fewer susceptibles");
+        assert!(
+            fewer_sus,
+            "hateful cascades should expose fewer susceptibles"
+        );
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub fn run(data: &Dataset) -> Vec<Fig2Row> {
             }
         })
         .collect();
-    rows.sort_by(|a, b| b.hate_ratio.partial_cmp(&a.hate_ratio).unwrap());
+    rows.sort_by(|a, b| b.hate_ratio.total_cmp(&a.hate_ratio));
     rows
 }
 
@@ -57,7 +57,7 @@ pub fn rank_correlation(rows: &[Fig2Row]) -> f64 {
     }
     let rank = |vals: Vec<f64>| -> Vec<f64> {
         let mut idx: Vec<usize> = (0..vals.len()).collect();
-        idx.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap());
+        idx.sort_by(|&a, &b| vals[a].total_cmp(&vals[b]));
         let mut r = vec![0.0; vals.len()];
         for (pos, &i) in idx.iter().enumerate() {
             r[i] = pos as f64;

@@ -46,8 +46,7 @@ pub fn run(data: &Dataset, n_users: usize, n_tags: usize) -> Fig3Heatmap {
         data.roster()
             .get(b)
             .pct_hate
-            .partial_cmp(&data.roster().get(a).pct_hate)
-            .unwrap()
+            .total_cmp(&data.roster().get(a).pct_hate)
     });
     tags.truncate(n_tags);
 
@@ -85,10 +84,7 @@ pub fn run(data: &Dataset, n_users: usize, n_tags: usize) -> Fig3Heatmap {
 
     Fig3Heatmap {
         users,
-        hashtags: tags
-            .iter()
-            .map(|&t| data.roster().get(t).code)
-            .collect(),
+        hashtags: tags.iter().map(|&t| data.roster().get(t).code).collect(),
         cells,
     }
 }

@@ -29,6 +29,7 @@ pub const K_GRID: [usize; 6] = [1, 5, 10, 20, 50, 100];
 /// Compute the curves from a finished suite (requires RETINA + TopoLSTM).
 pub fn run(suite: &RetweetSuite) -> Vec<Fig5Row> {
     let ranked = |name: &str| -> Vec<Vec<bool>> {
+        // lint: allow(unwrap) caller contract: the suite ran these models
         let r = suite.result(name).expect("model missing from suite");
         r.scores
             .iter()
@@ -58,7 +59,9 @@ pub fn shape_holds(rows: &[Fig5Row]) -> bool {
             && w[1].retina_s >= w[0].retina_s - 1e-9
             && w[1].topolstm >= w[0].topolstm - 1e-9
     });
-    let last = rows.last().unwrap();
+    let Some(last) = rows.last() else {
+        return false;
+    };
     let converged = (last.retina_d - last.topolstm).abs() < 0.25;
     mono && converged
 }

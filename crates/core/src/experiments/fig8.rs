@@ -86,7 +86,11 @@ pub fn run(suite: &RetweetSuite) -> Vec<Fig8Row> {
             Fig8Row {
                 window: t,
                 upto_hours: suite.intervals[t],
-                ratio_hate: if overall_hate > 0.0 { raw_hate / overall_hate } else { 0.0 },
+                ratio_hate: if overall_hate > 0.0 {
+                    raw_hate / overall_hate
+                } else {
+                    0.0
+                },
                 ratio_nonhate: if overall_clean > 0.0 {
                     raw_nonhate / overall_clean
                 } else {
@@ -102,7 +106,7 @@ pub fn run(suite: &RetweetSuite) -> Vec<Fig8Row> {
 }
 
 fn safe_ratio(pred: f64, actual: f64) -> f64 {
-    if actual == 0.0 {
+    if actual <= 0.0 {
         0.0
     } else {
         pred / actual
@@ -117,8 +121,11 @@ pub fn shape_holds(rows: &[Fig8Row]) -> bool {
     if populated.len() < 2 {
         return true;
     }
+    let Some(last) = populated.last() else {
+        return true;
+    };
     let dev = |r: f64| (r - 1.0).abs();
-    dev(populated.last().unwrap().ratio_nonhate) <= dev(populated[0].ratio_nonhate) + 0.25
+    dev(last.ratio_nonhate) <= dev(populated[0].ratio_nonhate) + 0.25
 }
 
 #[cfg(test)]

@@ -42,6 +42,7 @@ pub fn default_buckets() -> Vec<(usize, usize)> {
 /// Compute per-bucket macro-F1 for RETINA-S, plus the overall value
 /// (the red dashed line in the paper's plot).
 pub fn run(suite: &RetweetSuite, buckets: &[(usize, usize)]) -> (Vec<Fig9Row>, f64) {
+    // lint: allow(unwrap) caller contract: the suite ran RETINA-S
     let r = suite.result("RETINA-S").expect("RETINA-S missing");
     let mut rows = Vec::with_capacity(buckets.len());
     for &(lo, hi) in buckets {

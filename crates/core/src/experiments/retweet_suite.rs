@@ -8,14 +8,13 @@ use crate::features::RetweetFeatures;
 use crate::retina::{pack_samples_parallel, PackedSample, Retina, RetinaConfig, RetinaMode};
 use crate::trainer::{train_retina, TrainConfig};
 use diffusion::{
-    split_samples, CascadeSample, ForestModel, ForestModelConfig, Hidan, HidanConfig,
-    RetweetTask, SirModel, ThresholdModel, TopoLstm, TopoLstmConfig,
+    split_samples, CascadeSample, ForestModel, ForestModelConfig, Hidan, HidanConfig, RetweetTask,
+    SirModel, ThresholdModel, TopoLstm, TopoLstmConfig,
 };
 use ml::metrics::{hits_at_k, map_at_k, rank_by_score};
 use ml::{
-    Classifier, ClassificationReport, DecisionTree, DecisionTreeConfig, LinearSvm,
-    LinearSvmConfig, LogisticRegression, LogisticRegressionConfig, RandomForest,
-    RandomForestConfig,
+    ClassificationReport, Classifier, DecisionTree, DecisionTreeConfig, LinearSvm, LinearSvmConfig,
+    LogisticRegression, LogisticRegressionConfig, RandomForest, RandomForestConfig,
 };
 use nn::Matrix;
 use rand::rngs::StdRng;
@@ -248,10 +247,8 @@ pub fn run(ctx: &ExperimentContext, cfg: &SuiteConfig, which: SuiteModels) -> Re
                 },
             };
             train_retina(&mut model, &packed_train, &tcfg);
-            let scores: Vec<Vec<f64>> = packed_test
-                .iter()
-                .map(|p| model.predict_proba(p))
-                .collect();
+            let scores: Vec<Vec<f64>> =
+                packed_test.iter().map(|p| model.predict_proba(p)).collect();
             // Binary metrics: static thresholds candidate probabilities;
             // dynamic is evaluated per (candidate, interval) as trained.
             let report = match mode {
@@ -286,7 +283,16 @@ pub fn run(ctx: &ExperimentContext, cfg: &SuiteConfig, which: SuiteModels) -> Re
     }
 
     if which.feature_baselines {
-        run_feature_baselines(ctx, cfg, &feats, &train, &test, &packed_train, &packed_test, &mut results);
+        run_feature_baselines(
+            ctx,
+            cfg,
+            &feats,
+            &train,
+            &test,
+            &packed_train,
+            &packed_test,
+            &mut results,
+        );
     }
 
     if which.neural_baselines {
@@ -437,31 +443,30 @@ fn run_feature_baselines(
         .collect();
 
     // Evaluation rows come from the packs (no recomputation).
-    let eval =
-        |model: &dyn Classifier, with_exo: bool| -> (Vec<Vec<f64>>, ClassificationReport) {
-            let mut scores = Vec::with_capacity(test.len());
-            for (s, p) in test.iter().zip(packed_test) {
-                let exo = with_exo.then(|| feats.exo_row(s.tweet));
-                let per: Vec<f64> = p
-                    .user_rows
-                    .iter()
-                    .map(|r| {
-                        let row: Vec<f64> = match &exo {
-                            Some(e) => {
-                                let mut v = r.clone();
-                                v.extend_from_slice(e);
-                                v
-                            }
-                            None => r.clone(),
-                        };
-                        model.predict_proba(&row)
-                    })
-                    .collect();
-                scores.push(per);
-            }
-            let report = flat_report(&scores, test);
-            (scores, report)
-        };
+    let eval = |model: &dyn Classifier, with_exo: bool| -> (Vec<Vec<f64>>, ClassificationReport) {
+        let mut scores = Vec::with_capacity(test.len());
+        for (s, p) in test.iter().zip(packed_test) {
+            let exo = with_exo.then(|| feats.exo_row(s.tweet));
+            let per: Vec<f64> = p
+                .user_rows
+                .iter()
+                .map(|r| {
+                    let row: Vec<f64> = match &exo {
+                        Some(e) => {
+                            let mut v = r.clone();
+                            v.extend_from_slice(e);
+                            v
+                        }
+                        None => r.clone(),
+                    };
+                    model.predict_proba(&row)
+                })
+                .collect();
+            scores.push(per);
+        }
+        let report = flat_report(&scores, test);
+        (scores, report)
+    };
 
     type ModelCtor = Box<dyn Fn() -> Box<dyn Classifier>>;
     let ctors: Vec<(&str, bool, ModelCtor)> = vec![

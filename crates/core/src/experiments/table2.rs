@@ -33,8 +33,7 @@ impl std::fmt::Display for Table2Row {
 
 /// Compute all Table II rows.
 pub fn run(data: &Dataset) -> Vec<Table2Row> {
-    data
-        .hashtag_stats()
+    data.hashtag_stats()
         .into_iter()
         .map(|stats| {
             let t = data.roster().get(stats.topic);

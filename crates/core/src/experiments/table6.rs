@@ -28,10 +28,7 @@ pub fn ordered_rows(suite: &RetweetSuite) -> Vec<&ModelResult> {
         "TopoLSTM",
         "SIR",
     ];
-    let mut rows: Vec<&ModelResult> = ORDER
-        .iter()
-        .filter_map(|name| suite.result(name))
-        .collect();
+    let mut rows: Vec<&ModelResult> = ORDER.iter().filter_map(|name| suite.result(name)).collect();
     if let Some(r) = suite.result("Gen.Thresh.") {
         rows.push(r);
     }

@@ -220,10 +220,7 @@ impl<'a> HategenFeatures<'a> {
 
     /// Full dimensionality (no exclusions).
     pub fn dim(&self) -> usize {
-        self.history.dim()
-            + 1
-            + self.data.roster().len()
-            + self.models.news_tfidf.dim()
+        self.history.dim() + 1 + self.data.roster().len() + self.models.news_tfidf.dim()
     }
 }
 
@@ -319,13 +316,15 @@ impl<'a> RetweetFeatures<'a> {
             .map(|&tid| text::similarity::cosine_dense(self.models.tweet_vec(tid), tweet_vec))
             .sum::<f64>()
             / hist.len() as f64;
-        let hashtag = self.data.roster().get(self.data.tweets()[tweet].topic).hashtag;
+        let hashtag = self
+            .data
+            .roster()
+            .get(self.data.tweets()[tweet].topic)
+            .hashtag;
         let sim_tag = match self.models.hashtag_vec(hashtag) {
             Some(tag_vec) => {
                 hist.iter()
-                    .map(|&tid| {
-                        text::similarity::cosine_dense(self.models.tweet_vec(tid), tag_vec)
-                    })
+                    .map(|&tid| text::similarity::cosine_dense(self.models.tweet_vec(tid), tag_vec))
                     .sum::<f64>()
                     / hist.len() as f64
             }
@@ -419,10 +418,7 @@ mod tests {
         let (data, models) = setup();
         let silver: Vec<bool> = data.tweets().iter().map(|t| t.hate).collect();
         let f = RetweetFeatures::new(&data, &models, &silver);
-        let t = data
-            .root_tweets()
-            .find(|t| !t.retweets.is_empty())
-            .unwrap();
+        let t = data.root_tweets().find(|t| !t.retweets.is_empty()).unwrap();
         let cand = t.retweets[0].user as usize;
         let row = f.retina_user_row(t.id, t.user, cand);
         assert_eq!(row.len(), f.retina_dim());
@@ -466,7 +462,10 @@ mod tests {
         assert_eq!(models.tweet_vec(0).len(), 50);
         assert_eq!(models.news_vec(0).len(), 50);
         // Some hashtag appears often enough to have a word vector.
-        let any_tag = data.roster().iter().find_map(|t| models.hashtag_vec(t.hashtag));
+        let any_tag = data
+            .roster()
+            .iter()
+            .find_map(|t| models.hashtag_vec(t.hashtag));
         assert!(any_tag.is_some(), "no hashtag vector trained");
     }
 }

@@ -27,7 +27,7 @@ impl<'a> PeerSignals<'a> {
             }
         }
         for v in by_author.values_mut() {
-            v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            v.sort_by(|a, b| a.0.total_cmp(&b.0));
         }
         Self { data, by_author }
     }
@@ -86,10 +86,7 @@ mod tests {
         let data = Dataset::generate(SimConfig::tiny());
         let peer = PeerSignals::new(&data);
         // Find an actual (root, retweeter) interaction.
-        let t = data
-            .root_tweets()
-            .find(|t| !t.retweets.is_empty())
-            .unwrap();
+        let t = data.root_tweets().find(|t| !t.retweets.is_empty()).unwrap();
         let cand = t.retweets[0].user as usize;
         let rt_time = t.retweets[0].time_hours;
         let before = peer.prior_retweets(t.user, cand, rt_time - 1e-6);

@@ -73,7 +73,8 @@ impl<'a> UserHistoryExtractor<'a> {
         );
 
         // Retweet-attention ratios: hateful vs non-hateful.
-        let (mut rt_hate, mut rt_clean, mut n_hate_t, mut n_clean_t) = (0usize, 0usize, 0usize, 0usize);
+        let (mut rt_hate, mut rt_clean, mut n_hate_t, mut n_clean_t) =
+            (0usize, 0usize, 0usize, 0usize);
         for &tid in &hist {
             let t = &self.data.tweets()[tid];
             if self.silver[tid] {
@@ -112,7 +113,7 @@ impl<'a> UserHistoryExtractor<'a> {
 /// Smoothed ratio `a / (a + b)` in [0, 1]; 0.5 when both are zero would
 /// inject a false signal, so empty evidence maps to 0.
 fn ratio(a: f64, b: f64) -> f64 {
-    if a + b == 0.0 {
+    if a + b <= 0.0 {
         0.0
     } else {
         a / (a + b)

@@ -7,9 +7,9 @@
 
 use crate::features::{FeatureGroup, HategenFeatures};
 use ml::{
-    AdaBoost, AdaBoostConfig, Classifier, ClassificationReport, DecisionTree,
-    DecisionTreeConfig, Gbdt, GbdtConfig, LinearSvm, LinearSvmConfig, LogisticRegression,
-    LogisticRegressionConfig, MutualInfoSelector, Pca, RbfSvm, RbfSvmConfig,
+    AdaBoost, AdaBoostConfig, ClassificationReport, Classifier, DecisionTree, DecisionTreeConfig,
+    Gbdt, GbdtConfig, LinearSvm, LinearSvmConfig, LogisticRegression, LogisticRegressionConfig,
+    MutualInfoSelector, Pca, RbfSvm, RbfSvmConfig,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

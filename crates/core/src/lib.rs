@@ -32,5 +32,5 @@ pub mod trainer;
 pub use detector::HateDetector;
 pub use features::{FeatureGroup, HategenFeatures, RetweetFeatures, TextModels};
 pub use hategen::{HategenPipeline, HategenSample, ModelKind, Processing};
-pub use retina::{Retina, RetinaConfig, RetinaMode, RecurrentKind};
+pub use retina::{RecurrentKind, Retina, RetinaConfig, RetinaMode};
 pub use trainer::TrainConfig;

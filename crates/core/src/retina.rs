@@ -17,9 +17,7 @@
 use crate::features::RetweetFeatures;
 use diffusion::CascadeSample;
 use ml::StandardScaler;
-use nn::{
-    Activation, ActivationKind, Dense, ExogenousAttention, Gru, Lstm, Matrix, SimpleRnn,
-};
+use nn::{Activation, ActivationKind, Dense, ExogenousAttention, Gru, Lstm, Matrix, SimpleRnn};
 use nn::{Param, WeightedBce};
 
 /// Static vs dynamic prediction (Section V).
@@ -202,7 +200,9 @@ pub fn pack_samples_parallel(
             });
         }
     })
+    // lint: allow(unwrap) a worker panic must propagate to the trainer
     .expect("packing worker panicked");
+    // lint: allow(unwrap) the chunk partition writes every slot exactly once
     out.into_iter().map(|p| p.expect("slot filled")).collect()
 }
 
@@ -253,11 +253,7 @@ impl Retina {
         });
         let merged = if config.use_exogenous { 2 * h } else { h };
         let (out_dense, recurrent, step_dense) = match config.mode {
-            RetinaMode::Static => (
-                Some(Dense::new(merged, 1, config.seed ^ 0x51A)),
-                None,
-                None,
-            ),
+            RetinaMode::Static => (Some(Dense::new(merged, 1, config.seed ^ 0x51A)), None, None),
             RetinaMode::Dynamic => {
                 let cell = match config.recurrent {
                     RecurrentKind::Gru => {
@@ -347,13 +343,16 @@ impl Retina {
             None => hidden,
         };
         match self.config.mode {
+            // lint: allow(unwrap) new() wires out_dense for Static mode
             RetinaMode::Static => self.out_dense.as_mut().unwrap().forward(&merged),
             RetinaMode::Dynamic => {
                 let t_len = self.config.intervals.len();
                 let xs: Vec<Matrix> = (0..t_len).map(|_| merged.clone()).collect();
+                // lint: allow(unwrap) new() wires recurrent for Dynamic mode
                 let hs = self.recurrent.as_mut().unwrap().forward(&xs);
                 // Per-step logits via the shared step dense; assemble
                 // candidates × T.
+                // lint: allow(unwrap) new() wires step_dense for Dynamic mode
                 let step = self.step_dense.as_mut().unwrap();
                 let mut out = Matrix::zeros(n, t_len);
                 for (t, h) in hs.iter().enumerate() {
@@ -376,10 +375,13 @@ impl Retina {
         let n = sample.user_rows.len();
         let h = self.config.hdim;
         let d_merged = match self.config.mode {
+            // lint: allow(unwrap) new() wires out_dense for Static mode
             RetinaMode::Static => self.out_dense.as_mut().unwrap().backward(grad_logits),
             RetinaMode::Dynamic => {
+                // lint: allow(unwrap) API contract: backward requires a prior forward
                 let hs = self.dyn_cache.take().expect("backward before forward");
                 let t_len = self.config.intervals.len();
+                // lint: allow(unwrap) new() wires step_dense for Dynamic mode
                 let step = self.step_dense.as_mut().unwrap();
                 let mut grad_hs: Vec<Matrix> = Vec::with_capacity(t_len);
                 for (t, hmat) in hs.iter().enumerate() {
@@ -388,6 +390,7 @@ impl Retina {
                     let g = Matrix::from_fn(n, 1, |r, _| grad_logits.get(r, t));
                     grad_hs.push(step.backward(&g));
                 }
+                // lint: allow(unwrap) new() wires recurrent for Dynamic mode
                 let dxs = self.recurrent.as_mut().unwrap().backward(&grad_hs);
                 // Inputs were identical at each step: sum the gradients.
                 let mut acc = dxs[0].clone();
@@ -402,6 +405,7 @@ impl Retina {
             let (d_hidden, d_ctx_rows) = d_merged.split_cols(h);
             let d_ctx = d_ctx_rows.sum_rows();
             if !sample.news_d2v.is_empty() {
+                // lint: allow(unwrap) guarded by attention.is_some() above
                 let _ = self.attention.as_mut().unwrap().backward(&d_ctx);
             }
             d_hidden
@@ -472,11 +476,7 @@ impl Retina {
     }
 
     /// Loss/gradient pair for one sample under a weighted BCE.
-    pub fn loss_and_grad(
-        &mut self,
-        sample: &PackedSample,
-        bce: &WeightedBce,
-    ) -> (f64, Matrix) {
+    pub fn loss_and_grad(&mut self, sample: &PackedSample, bce: &WeightedBce) -> (f64, Matrix) {
         let logits = self.forward(sample);
         let targets = self.targets(sample);
         (bce.loss(&logits, &targets), bce.grad(&logits, &targets))
@@ -507,7 +507,13 @@ mod tests {
         let intervals = default_intervals();
         let retweet_times: Vec<f64> = labels
             .iter()
-            .map(|&l| if l == 1 { 10.0 + rng.gen_range(0.0..50.0) } else { f64::INFINITY })
+            .map(|&l| {
+                if l == 1 {
+                    10.0 + rng.gen_range(0.0..50.0)
+                } else {
+                    f64::INFINITY
+                }
+            })
             .collect();
         let interval_labels: Vec<Vec<u8>> = retweet_times
             .iter()
@@ -598,11 +604,7 @@ mod tests {
         let bce = WeightedBce { pos_weight: 3.0 };
         let (_, grad) = m.loss_and_grad(&s, &bce);
         m.backward(&s, &grad);
-        let total: f64 = m
-            .params_mut()
-            .iter()
-            .map(|p| p.grad.frobenius())
-            .sum();
+        let total: f64 = m.params_mut().iter().map(|p| p.grad.frobenius()).sum();
         assert!(total > 0.0);
     }
 

@@ -95,11 +95,7 @@ pub fn class_weight(samples: &[PackedSample], mode: RetinaMode, lambda: f64) -> 
 
 /// Train a RETINA model in place; returns the mean training loss per
 /// epoch (useful for convergence checks).
-pub fn train_retina(
-    model: &mut Retina,
-    train: &[PackedSample],
-    config: &TrainConfig,
-) -> Vec<f64> {
+pub fn train_retina(model: &mut Retina, train: &[PackedSample], config: &TrainConfig) -> Vec<f64> {
     model.fit_scaler(train);
     let bce = class_weight(train, model.config.mode, config.lambda);
     let mut adam = Adam::new(config.lr);
@@ -150,8 +146,7 @@ mod tests {
                 let user_rows: Vec<Vec<f64>> = labels
                     .iter()
                     .map(|&l| {
-                        let mut row: Vec<f64> =
-                            (0..12).map(|_| rng.gen_range(-0.5..0.5)).collect();
+                        let mut row: Vec<f64> = (0..12).map(|_| rng.gen_range(-0.5..0.5)).collect();
                         row[0] = l as f64 * 2.0 - 1.0;
                         row
                     })

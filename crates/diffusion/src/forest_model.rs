@@ -171,12 +171,7 @@ impl ForestModel {
             .collect();
         for t in 0..hs.len() {
             let target = seq[t + 1];
-            let negs = sample_negatives(
-                &negatives_pool,
-                target as u32,
-                self.config.negatives,
-                rng,
-            );
+            let negs = sample_negatives(&negatives_pool, target as u32, self.config.negatives, rng);
             let mut ids = vec![target];
             ids.extend(negs.iter().map(|&c| c as usize));
             let h = hs[t].row(0);
@@ -209,9 +204,7 @@ impl ForestModel {
             let ids = &ctx_ids[t];
             let scale = 1.0 / ids.len() as f64;
             let _ = self.emb.forward(ids);
-            let per = Matrix::from_fn(ids.len(), self.config.emb_dim, |_, c| {
-                d.get(0, c) * scale
-            });
+            let per = Matrix::from_fn(ids.len(), self.config.emb_dim, |_, c| d.get(0, c) * scale);
             self.emb.backward(&per);
         }
 
@@ -288,7 +281,9 @@ mod tests {
     fn context_vector_mixes_neighbors() {
         let (d, _) = setup();
         let m = ForestModel::new(300, ForestModelConfig::default());
-        let u = (0..300).find(|&u| !d.graph().followees(u).is_empty()).unwrap();
+        let u = (0..300)
+            .find(|&u| !d.graph().followees(u).is_empty())
+            .unwrap();
         let ctx = m.context_vector(d.graph(), u);
         let own = m.emb.vector(u);
         // With neighbours present, the context differs from the raw

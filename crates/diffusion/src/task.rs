@@ -122,11 +122,9 @@ impl RetweetTask {
                 .iter()
                 .map(|c| retweeter_time.get(c).copied().unwrap_or(f64::INFINITY))
                 .collect();
-            let mut in_order: Vec<(u32, f64)> = retweeter_time
-                .iter()
-                .map(|(&u, &t)| (u, t))
-                .collect();
-            in_order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let mut in_order: Vec<(u32, f64)> =
+                retweeter_time.iter().map(|(&u, &t)| (u, t)).collect();
+            in_order.sort_by(|a, b| a.1.total_cmp(&b.1));
 
             out.push(CascadeSample {
                 tweet: tweet.id,
@@ -179,7 +177,10 @@ mod tests {
         for s in &samples {
             assert_eq!(s.candidates.len(), s.labels.len());
             assert_eq!(s.candidates.len(), s.retweet_times.len());
-            assert!(s.labels.iter().any(|&l| l == 1), "each sample has a positive");
+            assert!(
+                s.labels.iter().any(|&l| l == 1),
+                "each sample has a positive"
+            );
             assert!(s.candidates.len() <= 120 + s.retweeters_in_order.len());
         }
     }
@@ -210,7 +211,10 @@ mod tests {
         for s in task.build(&d) {
             let followers = d.graph().followers(s.root_user);
             for &c in &s.candidates {
-                assert!(followers.contains(&c), "non-follower candidate in organic mode");
+                assert!(
+                    followers.contains(&c),
+                    "non-follower candidate in organic mode"
+                );
             }
         }
     }
@@ -235,8 +239,7 @@ mod tests {
         let (train, test) = split_samples(samples, 0.8, 1);
         assert_eq!(train.len() + test.len(), n);
         assert!((train.len() as f64 / n as f64 - 0.8).abs() < 0.05);
-        let train_ids: std::collections::HashSet<usize> =
-            train.iter().map(|s| s.tweet).collect();
+        let train_ids: std::collections::HashSet<usize> = train.iter().map(|s| s.tweet).collect();
         assert!(test.iter().all(|s| !train_ids.contains(&s.tweet)));
     }
 

@@ -67,11 +67,8 @@ impl ThresholdModel {
                     continue;
                 }
                 let w = self.influence_scale / followees.len() as f64;
-                let influence: f64 = followees
-                    .iter()
-                    .filter(|&&u| active[u as usize])
-                    .count() as f64
-                    * w;
+                let influence: f64 =
+                    followees.iter().filter(|&&u| active[u as usize]).count() as f64 * w;
                 if influence >= threshold[v as usize] {
                     active[v as usize] = true;
                     newly.push(v);

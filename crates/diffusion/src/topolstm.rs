@@ -127,12 +127,7 @@ impl TopoLstm {
             .collect();
         for t in 0..hs.len() {
             let target = seq[t + 1];
-            let negs = sample_negatives(
-                &negatives_pool,
-                target as u32,
-                self.config.negatives,
-                rng,
-            );
+            let negs = sample_negatives(&negatives_pool, target as u32, self.config.negatives, rng);
             let mut ids = vec![target];
             ids.extend(negs.iter().map(|&c| c as usize));
             let h = hs[t].row(0);

@@ -28,11 +28,29 @@ fn every_baseline_scores_every_candidate() {
     let n_users = data.users().len();
     let (train, test) = split_samples(samples, 0.8, 0);
 
-    let mut topo = TopoLstm::new(n_users, TopoLstmConfig { epochs: 1, ..Default::default() });
+    let mut topo = TopoLstm::new(
+        n_users,
+        TopoLstmConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+    );
     topo.train(&train);
-    let mut forest = ForestModel::new(n_users, ForestModelConfig { epochs: 1, ..Default::default() });
+    let mut forest = ForestModel::new(
+        n_users,
+        ForestModelConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+    );
     forest.train(data.graph(), &train);
-    let mut hidan = Hidan::new(n_users, HidanConfig { epochs: 1, ..Default::default() });
+    let mut hidan = Hidan::new(
+        n_users,
+        HidanConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+    );
     hidan.train(&train);
     let sir = SirModel::fit(data.graph(), &train, 0);
     let thresh = ThresholdModel::new(1.0, 0);
@@ -51,7 +69,9 @@ fn every_baseline_scores_every_candidate() {
         for (name, scores) in checks {
             assert_eq!(scores.len(), n, "{name}: wrong score count");
             assert!(
-                scores.iter().all(|p| (0.0..=1.0).contains(p) && p.is_finite()),
+                scores
+                    .iter()
+                    .all(|p| (0.0..=1.0).contains(p) && p.is_finite()),
                 "{name}: out-of-range score"
             );
         }
@@ -64,7 +84,13 @@ fn trained_neural_rankers_beat_random_ranking() {
     let n_users = data.users().len();
     let (train, test) = split_samples(samples, 0.8, 1);
 
-    let mut topo = TopoLstm::new(n_users, TopoLstmConfig { epochs: 3, ..Default::default() });
+    let mut topo = TopoLstm::new(
+        n_users,
+        TopoLstmConfig {
+            epochs: 3,
+            ..Default::default()
+        },
+    );
     topo.train(&train);
     let topo_lists: Vec<Vec<bool>> = test
         .iter()

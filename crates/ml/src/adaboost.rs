@@ -52,7 +52,7 @@ impl AdaBoost {
     /// Ensemble decision score in [-1, 1] (sign = predicted class).
     pub fn decision(&self, x: &[f64]) -> f64 {
         let total: f64 = self.stumps.iter().map(|(_, a)| a).sum();
-        if total == 0.0 {
+        if total <= 0.0 {
             return 0.0;
         }
         let score: f64 = self

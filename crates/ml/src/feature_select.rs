@@ -81,12 +81,12 @@ pub fn mutual_information(col: &[f64], y: &[u8], bins: usize) -> f64 {
     let mut mi = 0.0;
     for b in 0..n_bins {
         let pb = (joint[b][0] + joint[b][1]) as f64 / nf;
-        if pb == 0.0 {
+        if pb <= 0.0 {
             continue;
         }
         for c in 0..2 {
             let pxy = joint[b][c] as f64 / nf;
-            if pxy == 0.0 {
+            if pxy <= 0.0 {
                 continue;
             }
             let pc = py[c] as f64 / nf;
@@ -101,7 +101,11 @@ pub fn mutual_information(col: &[f64], y: &[u8], bins: usize) -> f64 {
 fn quantile_bins(col: &[f64], bins: usize) -> Vec<usize> {
     let n = col.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| col[a].partial_cmp(&col[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        col[a]
+            .partial_cmp(&col[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0usize; n];
     let mut bin = 0usize;
     let per = (n + bins - 1) / bins;
@@ -135,7 +139,10 @@ mod tests {
         for _ in 0..400 {
             let label: u8 = rng.gen_range(0..2);
             // f0 perfectly separable, f1 pure noise.
-            x.push(vec![label as f64 + rng.gen_range(-0.1..0.1), rng.gen_range(0.0..1.0)]);
+            x.push(vec![
+                label as f64 + rng.gen_range(-0.1..0.1),
+                rng.gen_range(0.0..1.0),
+            ]);
             y.push(label);
         }
         let sel = MutualInfoSelector::fit(&x, &y, 1, 8);

@@ -75,7 +75,11 @@ impl RegTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -269,7 +273,10 @@ mod tests {
         for _ in 0..n {
             let a: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
             let b: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-            x.push(vec![a + rng.gen_range(-0.2..0.2), b + rng.gen_range(-0.2..0.2)]);
+            x.push(vec![
+                a + rng.gen_range(-0.2..0.2),
+                b + rng.gen_range(-0.2..0.2),
+            ]);
             y.push(u8::from(a * b > 0.0));
         }
         (x, y)

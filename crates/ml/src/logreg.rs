@@ -84,7 +84,10 @@ impl Classifier for LogisticRegression {
         let n_pos = y.iter().filter(|&&l| l == 1).count().max(1);
         let n_neg = (n - y.iter().filter(|&&l| l == 1).count()).max(1);
         let (w_pos, w_neg) = if self.config.balanced {
-            (n as f64 / (2.0 * n_pos as f64), n as f64 / (2.0 * n_neg as f64))
+            (
+                n as f64 / (2.0 * n_pos as f64),
+                n as f64 / (2.0 * n_neg as f64),
+            )
         } else {
             (1.0, 1.0)
         };
@@ -135,7 +138,10 @@ mod tests {
         for _ in 0..n {
             let label: u8 = rng.gen_range(0..2);
             let cx = if label == 1 { 2.0 } else { -2.0 };
-            x.push(vec![cx + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+            x.push(vec![
+                cx + rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            ]);
             y.push(label);
         }
         (x, y)

@@ -53,7 +53,7 @@ impl Confusion {
 }
 
 fn safe_div(a: f64, b: f64) -> f64 {
-    if b == 0.0 {
+    if b <= 0.0 {
         0.0
     } else {
         a / b
@@ -61,7 +61,7 @@ fn safe_div(a: f64, b: f64) -> f64 {
 }
 
 fn f1(p: f64, r: f64) -> f64 {
-    if p + r == 0.0 {
+    if p + r <= 0.0 {
         0.0
     } else {
         2.0 * p * r / (p + r)
@@ -95,7 +95,11 @@ pub fn roc_auc(y_true: &[u8], scores: &[f64]) -> f64 {
     }
     // Rank scores ascending with midranks for ties.
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -227,7 +231,15 @@ mod tests {
     #[test]
     fn confusion_tally() {
         let c = Confusion::from_predictions(&[1, 1, 0, 0], &[1, 0, 1, 0]);
-        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
     }
 
     #[test]
@@ -250,7 +262,10 @@ mod tests {
         let y_pred = [0; 10];
         assert!(accuracy(&y_true, &y_pred) > 0.85);
         let f = macro_f1(&y_true, &y_pred);
-        assert!(f < 0.5, "macro-F1 must punish majority-class collapse, got {f}");
+        assert!(
+            f < 0.5,
+            "macro-F1 must punish majority-class collapse, got {f}"
+        );
     }
 
     #[test]

@@ -38,8 +38,5 @@ pub(crate) fn check_fit_inputs(x: &[Vec<f64>], y: &[u8]) {
         x.iter().all(|r| r.len() == d),
         "all feature rows must have equal dimensionality"
     );
-    assert!(
-        y.iter().all(|&l| l <= 1),
-        "labels must be binary (0 or 1)"
-    );
+    assert!(y.iter().all(|&l| l <= 1), "labels must be binary (0 or 1)");
 }

@@ -82,7 +82,7 @@ impl Pca {
         }
         // Order components by descending explained variance.
         let mut order: Vec<usize> = (0..k).collect();
-        order.sort_by(|&a, &b| explained[b].partial_cmp(&explained[a]).unwrap());
+        order.sort_by(|&a, &b| explained[b].total_cmp(&explained[a]));
         let components: Vec<Vec<f64>> = order.iter().map(|&j| basis[j].clone()).collect();
         let explained_variance: Vec<f64> = order.iter().map(|&j| explained[j]).collect();
 

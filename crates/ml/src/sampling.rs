@@ -162,7 +162,10 @@ mod tests {
         let (xs, ys) = upsample_minority(&x, &y, 0.5, 3);
         for (r, &l) in xs.iter().zip(&ys) {
             if l == 1 {
-                assert!(r[0] < 10.0, "upsampled positive must be an original positive");
+                assert!(
+                    r[0] < 10.0,
+                    "upsampled positive must be an original positive"
+                );
             }
         }
     }

@@ -17,7 +17,7 @@ impl StandardScaler {
         let mut stds = column_stds(x, &means);
         // Constant columns scale to 0 after centering; avoid div-by-zero.
         for s in &mut stds {
-            if *s == 0.0 {
+            if *s <= 0.0 {
                 *s = 1.0;
             }
         }

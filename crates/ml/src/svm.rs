@@ -115,7 +115,10 @@ impl Classifier for LinearSvm {
         let n_pos = y.iter().filter(|&&l| l == 1).count().max(1);
         let n_neg = (n - n_pos.min(n)).max(1);
         let (w_pos, w_neg) = if self.config.balanced {
-            (n as f64 / (2.0 * n_pos as f64), n as f64 / (2.0 * n_neg as f64))
+            (
+                n as f64 / (2.0 * n_pos as f64),
+                n as f64 / (2.0 * n_neg as f64),
+            )
         } else {
             (1.0, 1.0)
         };
@@ -132,10 +135,15 @@ impl Classifier for LinearSvm {
                 let cw = if y[i] == 1 { w_pos } else { w_neg };
                 let margin = yi * self.decision(&x[i]);
                 // w <- (1 - eta*lambda) w  [+ eta*cw*yi*x if hinge active]
+                // The intercept is shrunk too (augmented-feature view):
+                // an unregularized bias keeps the enormous first-step kick
+                // (eta = 1/λ at t = 1) forever, saturating the probability
+                // link into constant scores on imbalanced data.
                 let shrink = 1.0 - eta * lambda;
                 for w in &mut self.weights {
                     *w *= shrink;
                 }
+                self.bias *= shrink;
                 if margin < 1.0 {
                     let g = eta * cw * yi;
                     for (w, &xv) in self.weights.iter_mut().zip(&x[i]) {
@@ -249,7 +257,10 @@ mod tests {
         for _ in 0..n {
             let label: u8 = rng.gen_range(0..2);
             let cx = if label == 1 { 2.0 } else { -2.0 };
-            x.push(vec![cx + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+            x.push(vec![
+                cx + rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            ]);
             y.push(label);
         }
         (x, y)

@@ -117,11 +117,8 @@ impl DecisionTree {
         let total = w_pos + w_neg;
         let p_pos = if total > 0.0 { w_pos / total } else { 0.5 };
 
-        let pure = w_pos == 0.0 || w_neg == 0.0;
-        if depth >= self.config.max_depth
-            || idx.len() < self.config.min_samples_split
-            || pure
-        {
+        let pure = w_pos <= 0.0 || w_neg <= 0.0;
+        if depth >= self.config.max_depth || idx.len() < self.config.min_samples_split || pure {
             return Node::Leaf { p_pos };
         }
 
@@ -221,7 +218,7 @@ impl DecisionTree {
 /// `mass * (1 - p⁺² - p⁻²) = 2*w_pos*w_neg/(w_pos+w_neg)`.
 fn weighted_gini(w_pos: f64, w_neg: f64) -> f64 {
     let total = w_pos + w_neg;
-    if total == 0.0 {
+    if total <= 0.0 {
         0.0
     } else {
         2.0 * w_pos * w_neg / total
@@ -235,6 +232,7 @@ impl Classifier for DecisionTree {
     }
 
     fn predict_proba(&self, x: &[f64]) -> f64 {
+        // lint: allow(unwrap) API contract: predict requires a prior fit
         let mut node = self.root.as_ref().expect("predict before fit");
         loop {
             match node {
@@ -245,7 +243,11 @@ impl Classifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -264,7 +266,10 @@ mod tests {
         for _ in 0..n {
             let a: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
             let b: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-            x.push(vec![a + rng.gen_range(-0.2..0.2), b + rng.gen_range(-0.2..0.2)]);
+            x.push(vec![
+                a + rng.gen_range(-0.2..0.2),
+                b + rng.gen_range(-0.2..0.2),
+            ]);
             y.push(u8::from(a * b > 0.0));
         }
         (x, y)

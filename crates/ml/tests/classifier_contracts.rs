@@ -16,7 +16,10 @@ fn all_models() -> Vec<(&'static str, Box<dyn Classifier>)> {
             "logreg",
             Box::new(LogisticRegression::new(LogisticRegressionConfig::default())),
         ),
-        ("linsvm", Box::new(LinearSvm::new(LinearSvmConfig::default()))),
+        (
+            "linsvm",
+            Box::new(LinearSvm::new(LinearSvmConfig::default())),
+        ),
         (
             "rbfsvm",
             Box::new(RbfSvm::new(RbfSvmConfig {
@@ -24,7 +27,10 @@ fn all_models() -> Vec<(&'static str, Box<dyn Classifier>)> {
                 ..Default::default()
             })),
         ),
-        ("tree", Box::new(DecisionTree::new(DecisionTreeConfig::default()))),
+        (
+            "tree",
+            Box::new(DecisionTree::new(DecisionTreeConfig::default())),
+        ),
         (
             "forest",
             Box::new(RandomForest::new(RandomForestConfig {
@@ -32,7 +38,10 @@ fn all_models() -> Vec<(&'static str, Box<dyn Classifier>)> {
                 ..Default::default()
             })),
         ),
-        ("adaboost", Box::new(AdaBoost::new(AdaBoostConfig::default()))),
+        (
+            "adaboost",
+            Box::new(AdaBoost::new(AdaBoostConfig::default())),
+        ),
         (
             "gbdt",
             Box::new(Gbdt::new(GbdtConfig {

@@ -77,6 +77,7 @@ impl ExogenousAttention {
             }
         }
         let attn = logits.softmax_rows();
+        crate::sanitize::check_finite("attention", "scaled_dot", &attn);
 
         let mut out = Matrix::zeros(batch, self.hdim);
         for (i, value) in values.iter().enumerate() {
@@ -89,6 +90,7 @@ impl ExogenousAttention {
             }
         }
 
+        crate::sanitize::check_finite("attention", "forward", &out);
         self.cache = Some(Cache {
             xt: xt.clone(),
             xn: xn.to_vec(),
@@ -108,6 +110,7 @@ impl ExogenousAttention {
     /// Backward pass: accumulate kernel gradients; return
     /// `(d xt, d xn)`.
     pub fn backward(&mut self, grad_out: &Matrix) -> (Matrix, Vec<Matrix>) {
+        // lint: allow(unwrap) API contract: backward requires a prior forward
         let cache = self.cache.as_ref().expect("backward before forward");
         let batch = cache.xt.rows();
         let k = cache.xn.len();
@@ -140,11 +143,7 @@ impl ExogenousAttention {
                 .map(|j| cache.attn.get(b, j) * d_attn.get(b, j))
                 .sum();
             for i in 0..k {
-                d_logits.set(
-                    b,
-                    i,
-                    cache.attn.get(b, i) * (d_attn.get(b, i) - dot),
-                );
+                d_logits.set(b, i, cache.attn.get(b, i) * (d_attn.get(b, i) - dot));
             }
         }
 
@@ -355,6 +354,34 @@ mod tests {
             "aligned news should dominate, got {:?}",
             a.row(0)
         );
+    }
+
+    #[test]
+    fn stable_softmax_survives_huge_logits() {
+        // Audit for the max-subtracted softmax: attention logits of
+        // magnitude >= 1e3 (here ~1e6 after the scaled dot product) must
+        // still produce finite weights that lie on the simplex, with the
+        // mass on the dominant item.
+        let mut att = ExogenousAttention::new(4, 4, 4, 0);
+        let eye = Matrix::from_fn(4, 4, |r, c| if r == c { 1.0 } else { 0.0 });
+        att.wq.value = eye.clone();
+        att.wk.value = eye;
+        let xt = Matrix::from_vec(1, 4, vec![2e3, 0.0, 0.0, 0.0]);
+        let news = [
+            Matrix::from_vec(1, 4, vec![1e3, 0.0, 0.0, 0.0]),
+            Matrix::from_vec(1, 4, vec![-1e3, 0.0, 0.0, 0.0]),
+            Matrix::from_vec(1, 4, vec![9e2, 0.0, 0.0, 0.0]),
+        ];
+        let y = att.forward(&xt, &news);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        let a = att.attention_weights().unwrap();
+        assert!(a.data().iter().all(|v| v.is_finite() && *v >= 0.0));
+        let sum: f64 = a.row(0).iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-12,
+            "weights must sum to 1, got {sum}"
+        );
+        assert!(a.get(0, 0) > 0.999, "dominant logit takes the mass");
     }
 
     #[test]

@@ -36,14 +36,19 @@ impl Dense {
 
     /// Forward pass, caching the input.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        crate::sanitize::check_shape("dense", "forward", x.cols(), self.in_dim());
         let out = x.matmul(&self.w.value).add_row_broadcast(&self.b.value);
+        crate::sanitize::check_finite("dense", "forward", &out);
         self.cache_x = Some(x.clone());
         out
     }
 
     /// Forward without caching (inference).
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
-        x.matmul(&self.w.value).add_row_broadcast(&self.b.value)
+        crate::sanitize::check_shape("dense", "forward_inference", x.cols(), self.in_dim());
+        let out = x.matmul(&self.w.value).add_row_broadcast(&self.b.value);
+        crate::sanitize::check_finite("dense", "forward_inference", &out);
+        out
     }
 
     /// Backward pass: accumulate dW, db; return dx.
@@ -51,6 +56,7 @@ impl Dense {
         let x = self
             .cache_x
             .as_ref()
+            // lint: allow(unwrap) API contract: backward requires a prior forward
             .expect("backward called before forward");
         // dW = xᵀ · g ; db = Σ_rows g ; dx = g · Wᵀ
         self.w.grad.add_assign(&x.t_matmul(grad_out));

@@ -51,6 +51,7 @@ impl Embedding {
         let ids = self
             .cache_ids
             .as_ref()
+            // lint: allow(unwrap) API contract: backward requires a prior forward
             .expect("backward called before forward");
         assert_eq!(grad_out.rows(), ids.len());
         for (r, &id) in ids.iter().enumerate() {

@@ -79,11 +79,7 @@ pub fn check_gradients<L>(
         let (rows, cols, grads): (usize, usize, Vec<f64>) = {
             let ps = params(layer);
             let p = &ps[pi];
-            (
-                p.value.rows(),
-                p.value.cols(),
-                p.grad.data().to_vec(),
-            )
+            (p.value.rows(), p.value.cols(), p.grad.data().to_vec())
         };
         let _ = &mut params(layer); // appease borrowck lints
         for flat in sample_indices(rows * cols) {
@@ -233,6 +229,79 @@ pub mod seq {
     }
 }
 
+/// Deterministic fingerprint of the gradients produced by one forward +
+/// backward pass through every sanitize-instrumented layer (Dense, GRU,
+/// exogenous attention, weighted BCE) on fixed seeded inputs: FNV-1a over
+/// the IEEE-754 bit patterns of every gradient element.
+///
+/// The same constant is asserted by the test-suite with the `sanitize`
+/// feature on and off — the sanitizer's layer-boundary checks may only
+/// observe values, never perturb them, so on finite inputs the gradients
+/// must be bit-identical across the two builds.
+pub fn gradient_fingerprint() -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    let absorb = |m: &Matrix, hash: &mut u64| {
+        for &v in m.data() {
+            for b in v.to_bits().to_le_bytes() {
+                *hash = (*hash ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+        }
+    };
+
+    // Dense.
+    let mut dense = crate::dense::Dense::new(4, 3, 7);
+    let x = Matrix::xavier_seeded(5, 4, 8);
+    let y = dense.forward(&x);
+    let dx = dense.backward(&probe_coeffs(y.rows(), y.cols()));
+    absorb(&dx, &mut hash);
+    absorb(&dense.w.grad, &mut hash);
+    absorb(&dense.b.grad, &mut hash);
+
+    // GRU over a short sequence.
+    let mut gru = crate::gru::Gru::new(3, 4, 9);
+    let xs: Vec<Matrix> = (0..3)
+        .map(|t| Matrix::xavier_seeded(2, 3, 20 + t))
+        .collect();
+    let hs = gru.forward(&xs);
+    let probes: Vec<Matrix> = hs
+        .iter()
+        .enumerate()
+        .map(|(t, h)| probe_coeffs(h.rows(), h.cols()).scaled(1.0 + 0.37 * t as f64))
+        .collect();
+    for dxt in gru.backward(&probes) {
+        absorb(&dxt, &mut hash);
+    }
+    for p in gru.params_mut() {
+        absorb(&p.grad, &mut hash);
+    }
+
+    // Exogenous attention.
+    let mut att = crate::attention::ExogenousAttention::new(3, 4, 5, 11);
+    let xt = Matrix::xavier_seeded(2, 3, 30).scaled(3.0);
+    let xn: Vec<Matrix> = (0..3)
+        .map(|i| Matrix::xavier_seeded(2, 4, 40 + i).scaled(3.0))
+        .collect();
+    let y = att.forward(&xt, &xn);
+    let (d_xt, d_xn) = att.backward(&probe_coeffs(y.rows(), y.cols()));
+    absorb(&d_xt, &mut hash);
+    for d in &d_xn {
+        absorb(d, &mut hash);
+    }
+    for p in att.params_mut() {
+        absorb(&p.grad, &mut hash);
+    }
+
+    // Weighted BCE on logits.
+    let loss = crate::loss::WeightedBce { pos_weight: 2.5 };
+    let z = Matrix::xavier_seeded(4, 2, 50).scaled(2.0);
+    let t = Matrix::from_fn(4, 2, |r, c| f64::from(u8::from((r + c) % 2 == 0)));
+    absorb(&loss.grad(&z, &t), &mut hash);
+
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +314,19 @@ mod tests {
         assert!(a.data().iter().all(|v| v.abs() <= 1.0));
         // Not all equal (otherwise the probe would miss structure).
         assert!(a.data().iter().any(|&v| (v - a.get(0, 0)).abs() > 1e-9));
+    }
+
+    #[test]
+    fn gradient_fingerprint_is_deterministic() {
+        assert_eq!(gradient_fingerprint(), gradient_fingerprint());
+    }
+
+    #[test]
+    fn gradient_fingerprint_is_bit_stable_across_feature_sets() {
+        // This exact constant is asserted under both `cargo test` and
+        // `cargo test --features sanitize`: the sanitize checks must not
+        // alter a single gradient bit on finite inputs.
+        assert_eq!(gradient_fingerprint(), 0x2927_a47c_c47c_8579);
     }
 
     #[test]

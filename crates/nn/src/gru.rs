@@ -77,6 +77,7 @@ impl Gru {
     /// Forward over a sequence; returns hidden states `h_1..h_T`.
     pub fn forward(&mut self, xs: &[Matrix]) -> Vec<Matrix> {
         assert!(!xs.is_empty(), "GRU needs a non-empty sequence");
+        crate::sanitize::check_shape("gru", "forward", xs[0].cols(), self.in_dim);
         let batch = xs[0].rows();
         let mut hs = vec![Matrix::zeros(batch, self.hidden)];
         let mut zs = Vec::with_capacity(xs.len());
@@ -84,6 +85,7 @@ impl Gru {
         let mut h_hats = Vec::with_capacity(xs.len());
 
         for x in xs {
+            // lint: allow(unwrap) hs is seeded with the initial state above
             let h_prev = hs.last().unwrap();
             let z = x
                 .matmul(&self.wz.value)
@@ -104,6 +106,7 @@ impl Gru {
             let h = h_prev
                 .zip(&z, |hp, zv| (1.0 - zv) * hp)
                 .add(&z.hadamard(&h_hat));
+            crate::sanitize::check_finite("gru", "step", &h);
             zs.push(z);
             rs.push(r);
             h_hats.push(h_hat);
@@ -123,6 +126,7 @@ impl Gru {
     /// BPTT backward: `grad_hs[t]` is the loss gradient on `h_{t+1}`.
     /// Returns gradients on the inputs.
     pub fn backward(&mut self, grad_hs: &[Matrix]) -> Vec<Matrix> {
+        // lint: allow(unwrap) API contract: backward requires a prior forward
         let cache = self.cache.as_ref().expect("backward before forward");
         let t_len = cache.xs.len();
         assert_eq!(grad_hs.len(), t_len);

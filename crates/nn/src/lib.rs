@@ -19,6 +19,9 @@
 //! * [`optim`] — SGD and Adam.
 //! * [`gradcheck`] — finite-difference gradient verification used by the
 //!   test-suite to prove every backward pass exact.
+//! * [`sanitize`] — opt-in (`--features sanitize`) finiteness and shape
+//!   checks at every layer boundary, reporting structured
+//!   [`sanitize::NumericError`]s.
 //!
 //! Every layer exposes `forward` (caching what backward needs), `backward`
 //! (returning the input gradient and accumulating parameter gradients) and
@@ -35,6 +38,7 @@ pub mod lstm;
 pub mod optim;
 pub mod param;
 pub mod rnn;
+pub mod sanitize;
 pub mod tensor;
 
 pub use activation::{Activation, ActivationKind};
@@ -47,4 +51,5 @@ pub use lstm::Lstm;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;
 pub use rnn::SimpleRnn;
+pub use sanitize::NumericError;
 pub use tensor::Matrix;

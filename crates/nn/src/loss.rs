@@ -13,6 +13,10 @@
 use crate::activation::stable_sigmoid;
 use crate::tensor::Matrix;
 
+/// Probability floor for the probability-space loss: inputs are clamped
+/// to `[PROB_EPS, 1 − PROB_EPS]` so `p = 0` and `p = 1` stay finite.
+pub const PROB_EPS: f64 = 1e-12;
+
 /// Weighted BCE computed on logits.
 #[derive(Debug, Clone, Copy)]
 pub struct WeightedBce {
@@ -41,22 +45,52 @@ impl WeightedBce {
             (logits.rows(), logits.cols()),
             (targets.rows(), targets.cols())
         );
+        crate::sanitize::check_finite("weighted_bce", "loss", logits);
         let n = (logits.rows() * logits.cols()) as f64;
-        logits
+        let out = logits
             .data()
             .iter()
             .zip(targets.data())
             .map(|(&z, &t)| self.pos_weight * t * softplus(-z) + (1.0 - t) * softplus(z))
             .sum::<f64>()
-            / n
+            / n;
+        crate::sanitize::check_scalar("weighted_bce", "loss", out);
+        out
+    }
+
+    /// Mean loss over *probabilities* (`p = σ(z)`), for callers that only
+    /// have probabilities. Each `p` is clamped to `[PROB_EPS, 1 − PROB_EPS]`
+    /// so the exact endpoints `p = 0` and `p = 1` produce a large finite
+    /// loss instead of ±∞. Prefer [`Self::loss`] on logits when available.
+    pub fn loss_probs(&self, probs: &Matrix, targets: &Matrix) -> f64 {
+        assert_eq!(
+            (probs.rows(), probs.cols()),
+            (targets.rows(), targets.cols())
+        );
+        let n = (probs.rows() * probs.cols()) as f64;
+        let out = probs
+            .data()
+            .iter()
+            .zip(targets.data())
+            .map(|(&p, &t)| {
+                let pc = p.clamp(PROB_EPS, 1.0 - PROB_EPS);
+                // lint: allow(prob-guard) pc is clamped to [ε, 1−ε] above
+                -(self.pos_weight * t * pc.ln()) - (1.0 - t) * (1.0 - pc).ln()
+            })
+            .sum::<f64>()
+            / n;
+        crate::sanitize::check_scalar("weighted_bce", "loss_probs", out);
+        out
     }
 
     /// Gradient of the mean loss w.r.t. the logits.
     pub fn grad(&self, logits: &Matrix, targets: &Matrix) -> Matrix {
         let n = (logits.rows() * logits.cols()) as f64;
-        logits.zip(targets, |z, t| {
+        let g = logits.zip(targets, |z, t| {
             (self.pos_weight * t * (stable_sigmoid(z) - 1.0) + (1.0 - t) * stable_sigmoid(z)) / n
-        })
+        });
+        crate::sanitize::check_finite("weighted_bce", "grad", &g);
+        g
     }
 }
 
@@ -127,6 +161,44 @@ mod tests {
         // Never below 1 (balanced data).
         let w2 = WeightedBce::from_counts(100, 100, 1.0);
         assert_eq!(w2.pos_weight, 1.0);
+    }
+
+    #[test]
+    fn prob_space_matches_logit_space_in_the_interior() {
+        let loss = WeightedBce { pos_weight: 2.0 };
+        let z = Matrix::from_vec(1, 3, vec![0.7, -1.1, 2.4]);
+        let p = z.map(stable_sigmoid);
+        let t = Matrix::from_vec(1, 3, vec![1.0, 0.0, 1.0]);
+        assert!((loss.loss(&z, &t) - loss.loss_probs(&p, &t)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prob_exactly_zero_is_finite() {
+        // Regression: p = 0.0 on a positive target used to be -inf·1.
+        let loss = WeightedBce::unweighted();
+        let p = Matrix::from_vec(1, 1, vec![0.0]);
+        let t = Matrix::from_vec(1, 1, vec![1.0]);
+        let l = loss.loss_probs(&p, &t);
+        assert!(l.is_finite(), "clamped loss must be finite, got {l}");
+        // Clamp floor ε = 1e-12 → loss = −ln ε ≈ 27.6.
+        assert!((l + PROB_EPS.ln()).abs() < 1e-6, "got {l}");
+    }
+
+    #[test]
+    fn prob_exactly_one_is_finite() {
+        // Regression: p = 1.0 on a negative target used to be -inf·1.
+        let loss = WeightedBce::unweighted();
+        let p = Matrix::from_vec(1, 1, vec![1.0]);
+        let t = Matrix::from_vec(1, 1, vec![0.0]);
+        let l = loss.loss_probs(&p, &t);
+        assert!(l.is_finite(), "clamped loss must be finite, got {l}");
+        assert!(
+            l > 20.0,
+            "endpoint must still be heavily penalized, got {l}"
+        );
+        // And the correct-prediction direction is ~0, not NaN.
+        let t_pos = Matrix::from_vec(1, 1, vec![1.0]);
+        assert!(loss.loss_probs(&p, &t_pos).abs() < 1e-9);
     }
 
     #[test]

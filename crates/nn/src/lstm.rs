@@ -83,7 +83,9 @@ impl Lstm {
         let (mut is_, mut fs, mut os, mut gs) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
 
         for x in xs {
+            // lint: allow(unwrap) hs is seeded with the initial state above
             let h_prev = hs.last().unwrap();
+            // lint: allow(unwrap) cs is seeded with the initial state above
             let c_prev = cs.last().unwrap();
             let gate = |w: &Param, u: &Param, b: &Param| {
                 x.matmul(&w.value)
@@ -118,6 +120,7 @@ impl Lstm {
 
     /// Full BPTT backward. Returns input gradients.
     pub fn backward(&mut self, grad_hs: &[Matrix]) -> Vec<Matrix> {
+        // lint: allow(unwrap) API contract: backward requires a prior forward
         let cache = self.cache.as_ref().expect("backward before forward");
         let t_len = cache.xs.len();
         assert_eq!(grad_hs.len(), t_len);
@@ -136,9 +139,7 @@ impl Lstm {
 
             let tanh_c = c.map(f64::tanh);
             let do_ = dh.hadamard(&tanh_c);
-            let mut dc = dh
-                .hadamard(o)
-                .zip(&tanh_c, |v, tc| v * (1.0 - tc * tc));
+            let mut dc = dh.hadamard(o).zip(&tanh_c, |v, tc| v * (1.0 - tc * tc));
             dc.add_assign(&dc_next);
 
             let di = dc.hadamard(g);

@@ -31,6 +31,7 @@ impl Optimizer for Sgd {
             for (v, &g) in p.value.data_mut().iter_mut().zip(p.grad.data().iter()) {
                 *v -= self.lr * g;
             }
+            crate::sanitize::check_finite("sgd", "step", &p.value);
             // borrow dance: zip above needs both; grad mutated after.
             p.zero_grad();
         }
@@ -83,6 +84,7 @@ impl Optimizer for Adam {
                 let v_hat = v / b2t;
                 p.value.data_mut()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
             }
+            crate::sanitize::check_finite("adam", "step", &p.value);
             p.zero_grad();
         }
     }

@@ -47,6 +47,7 @@ impl SimpleRnn {
         let batch = xs[0].rows();
         let mut hs = vec![Matrix::zeros(batch, self.hidden)];
         for x in xs {
+            // lint: allow(unwrap) hs is seeded with the initial state above
             let h_prev = hs.last().unwrap();
             let h = x
                 .matmul(&self.w.value)
@@ -65,6 +66,7 @@ impl SimpleRnn {
 
     /// Full BPTT backward. Returns input gradients.
     pub fn backward(&mut self, grad_hs: &[Matrix]) -> Vec<Matrix> {
+        // lint: allow(unwrap) API contract: backward requires a prior forward
         let cache = self.cache.as_ref().expect("backward before forward");
         let t_len = cache.xs.len();
         assert_eq!(grad_hs.len(), t_len);

@@ -122,6 +122,7 @@ impl Matrix {
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.get(r, k);
+                // lint: allow(float-cmp) sparsity fast path skips exact zeros only
                 if a == 0.0 {
                     continue;
                 }
@@ -143,6 +144,7 @@ impl Matrix {
             let arow = self.row(r);
             let brow = other.row(r);
             for (i, &a) in arow.iter().enumerate() {
+                // lint: allow(float-cmp) sparsity fast path skips exact zeros only
                 if a == 0.0 {
                     continue;
                 }

@@ -18,7 +18,10 @@ fn mlp_learns_xor() {
     for _ in 0..200 {
         let a: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
         let b: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-        xs.push(vec![a + rng.gen_range(-0.2..0.2), b + rng.gen_range(-0.2..0.2)]);
+        xs.push(vec![
+            a + rng.gen_range(-0.2..0.2),
+            b + rng.gen_range(-0.2..0.2),
+        ]);
         ys.push(f64::from(a * b > 0.0));
     }
     let x = Matrix::from_rows(&xs);

@@ -136,7 +136,10 @@ impl<'a> CascadeSimulator<'a> {
                 // Factors are normalized to population mean ≈ 1 so
                 // `base_retweet_prob` directly sets the cascade scale.
                 let activity = ((0.15 + prof.activity_rate / 1.2).min(2.5)) / 0.50;
-                let mut p = cfg.base_retweet_prob * topic_factor * tweet_virality * activity
+                let mut p = cfg.base_retweet_prob
+                    * topic_factor
+                    * tweet_virality
+                    * activity
                     * hotness
                     * depth_decay;
                 if hateful {
@@ -163,9 +166,7 @@ impl<'a> CascadeSimulator<'a> {
                     // simultaneously at every hop; organic re-shares slow
                     // down with depth.
                     let mean_delay = if hateful {
-                        cfg.mean_delay_hours
-                            * cfg.hate_delay_factor
-                            * (1.0 + 0.15 * depth as f64)
+                        cfg.mean_delay_hours * cfg.hate_delay_factor * (1.0 + 0.15 * depth as f64)
                     } else {
                         cfg.mean_delay_hours * (1.0 + 0.6 * depth as f64)
                     };
@@ -191,12 +192,7 @@ impl<'a> CascadeSimulator<'a> {
 pub fn cascade_growth(retweets: &[Retweet], t0: f64, offsets_hours: &[f64]) -> Vec<usize> {
     offsets_hours
         .iter()
-        .map(|&dt| {
-            retweets
-                .iter()
-                .filter(|r| r.time_hours <= t0 + dt)
-                .count()
-        })
+        .map(|&dt| retweets.iter().filter(|r| r.time_hours <= t0 + dt).count())
         .collect()
 }
 

@@ -118,8 +118,7 @@ impl Dataset {
             })
             .collect();
 
-        let mean_avg_rt =
-            roster.iter().map(|t| t.avg_retweets).sum::<f64>() / roster.len() as f64;
+        let mean_avg_rt = roster.iter().map(|t| t.avg_retweets).sum::<f64>() / roster.len() as f64;
         let sim = CascadeSimulator::new(&graph, &users, &config, mean_avg_rt);
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x3333);
 
@@ -128,8 +127,7 @@ impl Dataset {
         // same-theme headlines in the preceding 24 h — the generated news
         // stream is the *causal* exogenous force behind virality
         // (Section II: external stimuli drive diffusion).
-        let mut theme_news_times: Vec<Vec<f64>> =
-            vec![Vec::new(); crate::users::ALL_THEMES.len()];
+        let mut theme_news_times: Vec<Vec<f64>> = vec![Vec::new(); crate::users::ALL_THEMES.len()];
         for h in &headlines {
             let theme = roster.get(h.dominant_topic).theme;
             theme_news_times[crate::users::theme_index(theme)].push(h.time_hours);
@@ -161,8 +159,7 @@ impl Dataset {
                 .map(|(uid, u)| {
                     u.activity_rate
                         * (0.02 + u.topic_weight(topic))
-                        * ((graph.follower_count(uid) + 1) as f64)
-                            .powf(config.author_influence_exp)
+                        * ((graph.follower_count(uid) + 1) as f64).powf(config.author_influence_exp)
                 })
                 .collect();
             let total_w: f64 = weights.iter().sum();
@@ -244,8 +241,8 @@ impl Dataset {
         // IV-A); ambient tweets fill timelines without affecting hashtag
         // targets. Hatefulness follows the same user×topic propensity.
         for (uid, prof) in users.iter().enumerate() {
-            let n_ambient = ((prof.activity_rate * config.n_days as f64 * 0.12) as usize)
-                .clamp(4, 45);
+            let n_ambient =
+                ((prof.activity_rate * config.n_days as f64 * 0.12) as usize).clamp(4, 45);
             for _ in 0..n_ambient {
                 // Pick a topic by the user's theme affinity.
                 let mut best_topic = 0usize;
@@ -397,7 +394,11 @@ impl Dataset {
                 topic: topic.id,
                 code: topic.code,
                 tweets: n,
-                avg_retweets: if n == 0 { 0.0 } else { total_rts as f64 / n as f64 },
+                avg_retweets: if n == 0 {
+                    0.0
+                } else {
+                    total_rts as f64 / n as f64
+                },
                 users: users.len(),
                 users_all: users_all.len(),
                 pct_hate: if n == 0 {
@@ -482,9 +483,7 @@ mod tests {
         assert_eq!(stats.len(), 34);
         // Spot check: the scaled tweet targets are hit exactly.
         for s in &stats {
-            let expect = d
-                .roster()
-                .scaled_tweets(s.topic, d.config().tweet_scale);
+            let expect = d.roster().scaled_tweets(s.topic, d.config().tweet_scale);
             assert_eq!(s.tweets, expect, "tweet target for {}", s.code);
         }
     }

@@ -33,13 +33,7 @@ impl FollowerGraph {
     /// `n_communities` planted blocks and `affinity` probability of
     /// linking within one's own community; preferential attachment on the
     /// follower counts produces a heavy-tailed degree distribution.
-    pub fn generate(
-        n: usize,
-        m: usize,
-        n_communities: usize,
-        affinity: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn generate(n: usize, m: usize, n_communities: usize, affinity: f64, seed: u64) -> Self {
         Self::generate_with_hate_core(n, m, n_communities, affinity, &vec![false; n], seed)
     }
 
@@ -238,7 +232,10 @@ impl FollowerGraph {
 
     /// Degree (follower-count) histogram summary: (max, mean).
     pub fn follower_stats(&self) -> (usize, f64) {
-        let max = (0..self.n).map(|u| self.follower_count(u)).max().unwrap_or(0);
+        let max = (0..self.n)
+            .map(|u| self.follower_count(u))
+            .max()
+            .unwrap_or(0);
         let mean = self.n_edges() as f64 / self.n as f64;
         (max, mean)
     }

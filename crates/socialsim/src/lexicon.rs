@@ -79,7 +79,10 @@ mod tests {
     #[test]
     fn kind_mix_matches_ratios() {
         let lex = generate_lexicon(209);
-        let slurs = lex.iter().filter(|e| e.kind == LexiconEntryKind::Slur).count();
+        let slurs = lex
+            .iter()
+            .filter(|e| e.kind == LexiconEntryKind::Slur)
+            .count();
         let colloq = lex
             .iter()
             .filter(|e| e.kind == LexiconEntryKind::Colloquial)

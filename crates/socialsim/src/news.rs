@@ -53,16 +53,16 @@ impl NewsGenerator {
             // Newsroom output tracks total event intensity: bursts produce
             // visible coverage spikes (the signal RETINA's attention
             // consumes).
-            let total_intensity: f64 =
-                (0..roster.len()).map(|tid| roster.intensity(tid, day_f)).sum();
+            let total_intensity: f64 = (0..roster.len())
+                .map(|tid| roster.intensity(tid, day_f))
+                .sum();
             let volume_scale = (0.25 + 0.16 * total_intensity).min(3.0);
             let n = sample_poisson(self.per_day as f64 * volume_scale, &mut rng);
             let mut mix: Vec<(usize, f64)> = (0..roster.len())
                 .map(|tid| {
                     (
                         tid,
-                        roster.intensity(tid, day_f)
-                            * (roster.get(tid).paper_tweets as f64).sqrt(),
+                        roster.intensity(tid, day_f) * (roster.get(tid).paper_tweets as f64).sqrt(),
                     )
                 })
                 .collect();

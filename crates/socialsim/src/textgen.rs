@@ -345,8 +345,10 @@ mod tests {
     fn poisson_mean_roughly_correct() {
         let mut rng = StdRng::seed_from_u64(1);
         let n = 5000;
-        let mean: f64 =
-            (0..n).map(|_| sample_poisson(14.0, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_poisson(14.0, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 14.0).abs() < 0.5, "poisson mean {mean}");
     }
 
@@ -354,7 +356,10 @@ mod tests {
     fn exponential_mean_roughly_correct() {
         let mut rng = StdRng::seed_from_u64(2);
         let n = 5000;
-        let mean: f64 = (0..n).map(|_| sample_exponential(3.0, &mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_exponential(3.0, &mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 3.0).abs() < 0.2, "exp mean {mean}");
     }
 }

@@ -94,39 +94,228 @@ impl TopicRoster {
         let rows: Vec<(&'static str, &'static str, Theme, usize, f64, f64, f64, f64)> = vec![
             // (code, hashtag, theme, tweets, avg_rt, pct_hate, peak, spread)
             ("JV", "#jamiaviolence", Jamia, 950, 15.45, 3.78, 13.0, 4.0),
-            ("MOTR", "#MigrantsOnTheRoad", Covid, 872, 6.69, 8.20, 57.0, 5.0),
-            ("TTSV", "#timetosackvadras", Politics, 280, 8.19, 1.30, 10.0, 6.0),
-            ("JUA", "#jamiaunderattack", Jamia, 263, 5.80, 6.06, 13.5, 4.0),
-            ("IBN", "#IndiaBoycottsNPR", Protest, 570, 7.87, 0.80, 18.0, 6.0),
+            (
+                "MOTR",
+                "#MigrantsOnTheRoad",
+                Covid,
+                872,
+                6.69,
+                8.20,
+                57.0,
+                5.0,
+            ),
+            (
+                "TTSV",
+                "#timetosackvadras",
+                Politics,
+                280,
+                8.19,
+                1.30,
+                10.0,
+                6.0,
+            ),
+            (
+                "JUA",
+                "#jamiaunderattack",
+                Jamia,
+                263,
+                5.80,
+                6.06,
+                13.5,
+                4.0,
+            ),
+            (
+                "IBN",
+                "#IndiaBoycottsNPR",
+                Protest,
+                570,
+                7.87,
+                0.80,
+                18.0,
+                6.0,
+            ),
             ("ZNBK", "#ZeeNewsBanKaro", Media, 919, 9.58, 7.01, 20.0, 5.0),
-            ("SCW", "#SaluteCoronaWarriors", Covid, 104, 5.65, 0.0, 49.0, 4.0),
-            ("DEM", "#Demonetisation", Politics, 1696, 3.46, 0.06, 30.0, 9.0),
+            (
+                "SCW",
+                "#SaluteCoronaWarriors",
+                Covid,
+                104,
+                5.65,
+                0.0,
+                49.0,
+                4.0,
+            ),
+            (
+                "DEM",
+                "#Demonetisation",
+                Politics,
+                1696,
+                3.46,
+                0.06,
+                30.0,
+                9.0,
+            ),
             ("CV", "#ChineseVirus", Covid, 8, 0.25, 0.50, 44.0, 3.0),
-            ("IPIM", "#IslamoPhobicIndianMedia", Media, 4307, 15.46, 8.42, 56.0, 6.0),
-            ("DR2020", "#delhiriots2020", DelhiRiots, 1453, 12.23, 6.80, 23.0, 4.0),
+            (
+                "IPIM",
+                "#IslamoPhobicIndianMedia",
+                Media,
+                4307,
+                15.46,
+                8.42,
+                56.0,
+                6.0,
+            ),
+            (
+                "DR2020",
+                "#delhiriots2020",
+                DelhiRiots,
+                1453,
+                12.23,
+                6.80,
+                23.0,
+                4.0,
+            ),
             ("S4S", "#Seva4Society", Covid, 1087, 13.24, 1.53, 60.0, 5.0),
             ("PMCF", "#PMCaresFunds", Covid, 1172, 7.61, 0.80, 56.0, 4.0),
             ("C_19", "#COVID_19", Covid, 971, 6.38, 1.96, 52.0, 10.0),
-            ("HUA", "#Hindus_Under_Attack", DelhiRiots, 382, 7.10, 10.10, 24.0, 3.5),
+            (
+                "HUA",
+                "#Hindus_Under_Attack",
+                DelhiRiots,
+                382,
+                7.10,
+                10.10,
+                24.0,
+                3.5,
+            ),
             ("WP", "#WarisPathan", Politics, 989, 9.23, 12.07, 27.0, 4.0),
-            ("NHR", "#NorthDelhiRiots", DelhiRiots, 3418, 2.89, 0.08, 24.0, 4.0),
+            (
+                "NHR",
+                "#NorthDelhiRiots",
+                DelhiRiots,
+                3418,
+                2.89,
+                0.08,
+                24.0,
+                4.0,
+            ),
             ("UM", "#UmarKhalid", Protest, 887, 3.82, 0.10, 29.0, 5.0),
             ("LE", "#lockdownextension", Covid, 107, 1.85, 0.0, 68.0, 2.5),
             ("JCCTV", "#JamiaCCTV", Jamia, 1045, 12.07, 5.66, 14.0, 3.5),
-            ("TVI", "#TrumpVisitIndia", Politics, 339, 8.47, 2.60, 22.0, 2.5),
-            ("PNOP", "#PutNationOverPublicity", Politics, 555, 13.24, 5.71, 37.0, 5.0),
+            (
+                "TVI",
+                "#TrumpVisitIndia",
+                Politics,
+                339,
+                8.47,
+                2.60,
+                22.0,
+                2.5,
+            ),
+            (
+                "PNOP",
+                "#PutNationOverPublicity",
+                Politics,
+                555,
+                13.24,
+                5.71,
+                37.0,
+                5.0,
+            ),
             ("DE", "#DelhiExodus", DelhiRiots, 542, 9.66, 7.61, 25.0, 4.0),
-            ("DER", "#DelhiElectionResults", Election, 843, 7.56, 3.20, 8.0, 2.5),
-            ("ASMR", "#amitshahmustresign", Election, 959, 5.01, 9.94, 26.0, 4.5),
+            (
+                "DER",
+                "#DelhiElectionResults",
+                Election,
+                843,
+                7.56,
+                3.20,
+                8.0,
+                2.5,
+            ),
+            (
+                "ASMR",
+                "#amitshahmustresign",
+                Election,
+                959,
+                5.01,
+                9.94,
+                26.0,
+                4.5,
+            ),
             ("PMP", "#PMPanuti", Election, 1346, 4.06, 0.02, 9.0, 4.0),
-            ("R4GK", "#Restore4GinKashmir", Protest, 949, 3.94, 2.84, 33.0, 7.0),
-            ("DV", "#DelhiViolance", DelhiRiots, 1121, 9.004, 7.37, 24.0, 4.0),
+            (
+                "R4GK",
+                "#Restore4GinKashmir",
+                Protest,
+                949,
+                3.94,
+                2.84,
+                33.0,
+                7.0,
+            ),
+            (
+                "DV",
+                "#DelhiViolance",
+                DelhiRiots,
+                1121,
+                9.004,
+                7.37,
+                24.0,
+                4.0,
+            ),
             ("SNPR", "#StopNPR", Protest, 82, 10.23, 0.0, 19.0, 5.0),
-            ("1C4DH", "#1Crore4DelhiHindu", DelhiRiots, 889, 11.62, 0.99, 26.0, 4.0),
-            ("NV", "#NirbhayaVerdict", Verdict, 649, 7.61, 4.67, 46.0, 3.0),
-            ("NM", "#NizamuddinMarkaz", Covid, 1124, 8.24, 7.85, 58.0, 3.5),
-            ("90DSB", "#90daysofshaheenbagh", Protest, 226, 5.25, 12.04, 40.0, 5.0),
-            ("HML", "#HinduLivesMatter", DelhiRiots, 392, 4.82, 0.12, 25.0, 4.0),
+            (
+                "1C4DH",
+                "#1Crore4DelhiHindu",
+                DelhiRiots,
+                889,
+                11.62,
+                0.99,
+                26.0,
+                4.0,
+            ),
+            (
+                "NV",
+                "#NirbhayaVerdict",
+                Verdict,
+                649,
+                7.61,
+                4.67,
+                46.0,
+                3.0,
+            ),
+            (
+                "NM",
+                "#NizamuddinMarkaz",
+                Covid,
+                1124,
+                8.24,
+                7.85,
+                58.0,
+                3.5,
+            ),
+            (
+                "90DSB",
+                "#90daysofshaheenbagh",
+                Protest,
+                226,
+                5.25,
+                12.04,
+                40.0,
+                5.0,
+            ),
+            (
+                "HML",
+                "#HinduLivesMatter",
+                DelhiRiots,
+                392,
+                4.82,
+                0.12,
+                25.0,
+                4.0,
+            ),
         ];
         let topics = rows
             .into_iter()

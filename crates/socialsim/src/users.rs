@@ -100,17 +100,14 @@ pub fn generate_users(n: usize, n_days: usize, seed: u64) -> Vec<UserProfile> {
             let mut theme_hate_pref = [0.0f64; 8];
             if base_hate > 0.0 {
                 let mut themed: Vec<usize> = (0..8).collect();
-                themed.sort_by(|&a, &b| {
-                    theme_affinity[b]
-                        .partial_cmp(&theme_affinity[a])
-                        .unwrap()
-                });
+                themed.sort_by(|&a, &b| theme_affinity[b].partial_cmp(&theme_affinity[a]).unwrap());
                 let n_hate_themes = rng.gen_range(1..=2);
                 for &t in themed.iter().take(n_hate_themes) {
                     theme_hate_pref[t] = rng.gen_range(0.5..1.0);
                 }
                 // Faint leakage elsewhere.
                 for p in &mut theme_hate_pref {
+                    // lint: allow(float-cmp) 0.0 is the exact "unset" sentinel written above
                     if *p == 0.0 && rng.gen_bool(0.15) {
                         *p = rng.gen_range(0.0..0.2);
                     }
@@ -189,8 +186,7 @@ mod tests {
     #[test]
     fn activity_heavy_tailed() {
         let users = generate_users(2000, 71, 4);
-        let mean: f64 =
-            users.iter().map(|u| u.activity_rate).sum::<f64>() / users.len() as f64;
+        let mean: f64 = users.iter().map(|u| u.activity_rate).sum::<f64>() / users.len() as f64;
         let max = users.iter().map(|u| u.activity_rate).fold(0.0, f64::max);
         assert!(max > 4.0 * mean, "activity max {max} vs mean {mean}");
     }

@@ -1,6 +1,9 @@
-//! Corpus-level invariants across generator configurations.
+//! Corpus-level invariants across generator configurations. Randomized
+//! cases are drawn from seeded loops (the registry is offline, so
+//! `proptest` is replaced by explicit case enumeration — same invariants).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use socialsim::{Dataset, SimConfig};
 
 fn tiny_with(seed: u64, scale: f64, users: usize) -> Dataset {
@@ -12,47 +15,57 @@ fn tiny_with(seed: u64, scale: f64, users: usize) -> Dataset {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    /// Structural invariants hold for any seed / small scale.
-    #[test]
-    fn corpus_invariants_hold(seed in 0u64..10_000, users in 150usize..400) {
+/// Structural invariants hold for any seed / small scale.
+#[test]
+fn corpus_invariants_hold() {
+    for case in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0DE ^ case);
+        let seed = rng.gen_range(0..10_000u64);
+        let users = rng.gen_range(150usize..400);
         let data = tiny_with(seed, 0.02, users);
         let span = data.config().span_hours();
         for t in data.tweets() {
             // Times within the window.
-            prop_assert!(t.time_hours >= 0.0 && t.time_hours <= span);
+            assert!(t.time_hours >= 0.0 && t.time_hours <= span);
             // Retweets strictly after the root, sorted, by valid users,
             // never by the author.
             let mut last = t.time_hours;
             for r in &t.retweets {
-                prop_assert!(r.time_hours > t.time_hours);
-                prop_assert!(r.time_hours >= last);
-                prop_assert!((r.user as usize) < users);
-                prop_assert!(r.user as usize != t.user);
+                assert!(r.time_hours > t.time_hours);
+                assert!(r.time_hours >= last);
+                assert!((r.user as usize) < users);
+                assert!(r.user as usize != t.user);
                 last = r.time_hours;
             }
             // Tokens non-empty, topic valid.
-            prop_assert!(!t.tokens.is_empty());
-            prop_assert!(t.topic < data.roster().len());
-            prop_assert!(t.user < users);
+            assert!(!t.tokens.is_empty());
+            assert!(t.topic < data.roster().len());
+            assert!(t.user < users);
         }
         // Cascade cap respected.
-        let max = data.tweets().iter().map(|t| t.retweets.len()).max().unwrap_or(0);
-        prop_assert!(max <= data.config().max_retweets);
+        let max = data
+            .tweets()
+            .iter()
+            .map(|t| t.retweets.len())
+            .max()
+            .unwrap_or(0);
+        assert!(max <= data.config().max_retweets);
     }
+}
 
-    /// No cascade contains the same retweeter twice.
-    #[test]
-    fn retweeters_unique(seed in 0u64..10_000) {
+/// No cascade contains the same retweeter twice.
+#[test]
+fn retweeters_unique() {
+    for case in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0xBEEF ^ case);
+        let seed = rng.gen_range(0..10_000u64);
         let data = tiny_with(seed, 0.02, 200);
         for t in data.tweets() {
             let mut users: Vec<u32> = t.retweets.iter().map(|r| r.user).collect();
             users.sort_unstable();
             let before = users.len();
             users.dedup();
-            prop_assert_eq!(users.len(), before);
+            assert_eq!(users.len(), before);
         }
     }
 }

@@ -97,16 +97,15 @@ impl Doc2Vec {
         let mut doc_vecs = init(&mut rng, docs.len(), config.dim, scale);
         let mut word_out = vec![vec![0.0; config.dim]; vocab.len()];
 
-        let total_steps: u64 = (config.epochs as u64)
-            * id_docs.iter().map(|d| d.len() as u64).sum::<u64>().max(1);
+        let total_steps: u64 =
+            (config.epochs as u64) * id_docs.iter().map(|d| d.len() as u64).sum::<u64>().max(1);
         let mut step: u64 = 0;
 
         for _epoch in 0..config.epochs {
             for (di, doc) in id_docs.iter().enumerate() {
                 for &w in doc {
                     let progress = step as f64 / total_steps as f64;
-                    let lr = config.alpha
-                        + (config.min_alpha - config.alpha) * progress;
+                    let lr = config.alpha + (config.min_alpha - config.alpha) * progress;
                     Self::sgd_pair(
                         &mut doc_vecs[di],
                         &mut word_out,

@@ -31,10 +31,7 @@ impl HateLexicon {
 
     /// Add an entry (word or phrase).
     pub fn add(&mut self, term: &str) {
-        let toks: Vec<String> = term
-            .split_whitespace()
-            .map(|t| t.to_lowercase())
-            .collect();
+        let toks: Vec<String> = term.split_whitespace().map(|t| t.to_lowercase()).collect();
         if toks.is_empty() {
             return;
         }

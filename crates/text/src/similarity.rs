@@ -12,7 +12,7 @@ pub fn cosine_dense(a: &[f64], b: &[f64]) -> f64 {
         na += x * x;
         nb += y * y;
     }
-    if na == 0.0 || nb == 0.0 {
+    if na <= 0.0 || nb <= 0.0 {
         0.0
     } else {
         dot / (na.sqrt() * nb.sqrt())

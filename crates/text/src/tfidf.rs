@@ -110,8 +110,9 @@ impl TfIdfVectorizer {
             .filter(|&i| df[i] as usize >= config.min_df)
             .collect();
         match config.top_k_by {
-            TopKBy::TermFrequency => candidates
-                .sort_by_key(|&i| (std::cmp::Reverse(vocab.count(i)), i)),
+            TopKBy::TermFrequency => {
+                candidates.sort_by_key(|&i| (std::cmp::Reverse(vocab.count(i)), i))
+            }
             TopKBy::Idf => candidates.sort_by(|&a, &b| {
                 idf[b]
                     .partial_cmp(&idf[a])
@@ -126,8 +127,11 @@ impl TfIdfVectorizer {
         // regardless of IDF ties.
         candidates.sort_unstable();
 
-        let dim_of: HashMap<usize, usize> =
-            candidates.iter().enumerate().map(|(d, &id)| (id, d)).collect();
+        let dim_of: HashMap<usize, usize> = candidates
+            .iter()
+            .enumerate()
+            .map(|(d, &id)| (id, d))
+            .collect();
 
         Self {
             vocab,

@@ -7,9 +7,13 @@ use text::{Doc2Vec, Doc2VecConfig, HateLexicon, TfIdfConfig, TfIdfVectorizer};
 fn corpus() -> Vec<String> {
     let mut docs = Vec::new();
     for i in 0..30 {
-        docs.push(format!("cricket bat ball wicket over run cricket stadium {i}"));
+        docs.push(format!(
+            "cricket bat ball wicket over run cricket stadium {i}"
+        ));
         docs.push(format!("election vote poll booth minister party seat {i}"));
-        docs.push(format!("virus lockdown mask vaccine hospital doctor case {i}"));
+        docs.push(format!(
+            "virus lockdown mask vaccine hospital doctor case {i}"
+        ));
     }
     docs
 }

@@ -1,0 +1,321 @@
+//! Workspace correctness tooling. The `lint` subcommand runs a
+//! rule-driven scanner over every crate's library sources:
+//!
+//! - R1  no `.unwrap()` / `.expect()` in non-test library code of the
+//!       model crates (nn, ml, diffusion, core)
+//! - R2  no direct float `==` / `!=` outside tests
+//! - R3  epsilon-guarded `ln()`/`log()`/probability division in the
+//!       numerically hot files (loss.rs, attention.rs, gru.rs)
+//! - R4  no raw buffer indexing in the tensor hot kernels
+//! - R5  open-marker (todo/fixme) inventory — report-only, never fails
+//!       the lint
+//!
+//! Violations can be suppressed in place with
+//! `// lint: allow(<key>) <reason>` where `<key>` is one of
+//! `unwrap`, `float-cmp`, `prob-guard`, `index`; the reason is required.
+
+pub mod rules;
+pub mod source;
+
+use rules::{InventoryItem, Violation};
+use source::SourceFile;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Combined result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub inventory: Vec<InventoryItem>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                v.path, v.line, v.rule, v.message
+            ));
+        }
+        if !self.inventory.is_empty() {
+            out.push_str(&format!(
+                "\n-- inventory ({} open markers) --\n",
+                self.inventory.len()
+            ));
+            for item in &self.inventory {
+                out.push_str(&format!(
+                    "{}:{}: [{}] {}\n",
+                    item.path, item.line, item.kind, item.text
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "\n{} file(s) scanned, {} violation(s), {} inventory item(s)\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.inventory.len()
+        ));
+        out
+    }
+
+    /// Machine-readable inventory + violations (`--fix-inventory`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                json_str(v.rule),
+                json_str(&v.path),
+                v.line,
+                json_str(&v.message),
+                if i + 1 < self.violations.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ],\n  \"inventory\": [\n");
+        for (i, item) in self.inventory.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"kind\": {}, \"path\": {}, \"line\": {}, \"text\": {}}}{}\n",
+                json_str(&item.kind),
+                json_str(&item.path),
+                item.line,
+                json_str(&item.text),
+                if i + 1 < self.inventory.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"files_scanned\": {}\n}}\n",
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Lint all library sources under `root` (the workspace root): every
+/// `crates/*/src/**.rs` plus the root package's `src/`. Vendored stub
+/// crates, tests/, benches/ and examples/ trees are out of scope.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    for path in files {
+        let raw = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let file = SourceFile::parse(&rel, &raw);
+        let (violations, inventory) = rules::lint_file(&file);
+        report.violations.extend(violations);
+        report.inventory.extend(inventory);
+        report.files_scanned += 1;
+    }
+    report
+        .violations
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    report
+        .inventory
+        .sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    Ok(report)
+}
+
+/// Recursively gather `.rs` files under `dir` (no-op when absent).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    /// Build a scratch workspace tree; returns its root.
+    fn fixture(tag: &str, files: &[(&str, &str)]) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("xtask-fixture-{tag}"));
+        let _ = fs::remove_dir_all(&root);
+        for (rel, content) in files {
+            let path = root.join(rel);
+            fs::create_dir_all(path.parent().expect("fixture path has parent"))
+                .expect("mkdir fixture");
+            fs::write(&path, content).expect("write fixture");
+        }
+        root
+    }
+
+    #[test]
+    fn violating_fixture_fails_the_lint() {
+        let root = fixture(
+            "violating",
+            &[
+                (
+                    "crates/nn/src/loss.rs",
+                    "pub fn bad(p: f64) -> f64 {\n\
+                         if p == 0.0 { return 0.0; }\n\
+                         p.ln()\n\
+                     }\n\
+                     pub fn worse(x: Option<f64>) -> f64 { x.unwrap() }\n",
+                ),
+                (
+                    "crates/nn/src/tensor.rs",
+                    "impl M { pub fn matmul(&self) -> f64 { self.data[0] } }\n",
+                ),
+            ],
+        );
+        let report = lint_workspace(&root).expect("lint runs");
+        assert!(!report.is_clean());
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+        for expected in ["R1", "R2", "R3", "R4"] {
+            assert!(rules.contains(&expected), "missing {expected} in {rules:?}");
+        }
+        assert_eq!(report.files_scanned, 2);
+    }
+
+    #[test]
+    fn clean_fixture_passes_and_inventory_does_not_fail() {
+        let root = fixture(
+            "clean",
+            &[(
+                "crates/nn/src/dense.rs",
+                "// TODO: fuse the bias add\n\
+                 pub fn forward(x: f64) -> f64 { x.max(0.0) }\n",
+            )],
+        );
+        let report = lint_workspace(&root).expect("lint runs");
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.inventory.len(), 1);
+        assert_eq!(report.inventory[0].kind, "TODO");
+    }
+
+    #[test]
+    fn tests_and_benches_trees_are_out_of_scope() {
+        let root = fixture(
+            "scope",
+            &[
+                (
+                    "crates/nn/tests/contract.rs",
+                    "fn t() { x.unwrap(); assert!(a == 1.0); }\n",
+                ),
+                ("crates/nn/benches/b.rs", "fn b() { x.unwrap(); }\n"),
+                ("crates/nn/src/ok.rs", "pub fn f() {}\n"),
+            ],
+        );
+        let report = lint_workspace(&root).expect("lint runs");
+        assert!(report.is_clean());
+        assert_eq!(report.files_scanned, 1);
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let root = fixture(
+            "json",
+            &[(
+                "crates/nn/src/x.rs",
+                "// TODO: quote \"this\" and a backslash \\ path\npub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+            )],
+        );
+        let report = lint_workspace(&root).expect("lint runs");
+        let json = report.to_json();
+        assert!(json.contains("\"violations\""));
+        assert!(json.contains("\"inventory\""));
+        assert!(json.contains("\\\"this\\\""));
+        assert!(json.contains("\"files_scanned\": 1"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn allow_comments_suppress_in_fixture() {
+        let root = fixture(
+            "allowed",
+            &[(
+                "crates/core/src/io.rs",
+                "pub fn f(x: Option<u8>) -> u8 {\n\
+                     // lint: allow(unwrap) config is validated at startup\n\
+                     x.unwrap()\n\
+                 }\n",
+            )],
+        );
+        let report = lint_workspace(&root).expect("lint runs");
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn real_workspace_tree_is_clean() {
+        // The acceptance gate: the shipped tree must lint clean.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_path_buf();
+        let report = lint_workspace(&root).expect("lint runs");
+        assert!(
+            report.is_clean(),
+            "workspace has lint violations:\n{}",
+            report.render()
+        );
+        assert!(report.files_scanned > 20, "walker found the crates");
+    }
+}

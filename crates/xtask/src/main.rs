@@ -1,0 +1,61 @@
+//! `cargo run -p xtask -- lint [--fix-inventory]`
+//!
+//! Exits nonzero when any R1–R4 violation (or malformed allow-comment)
+//! is found. The R5 open-marker (todo/fixme) inventory is always
+//! reported but never fails the run. `--fix-inventory` switches the
+//! output to JSON for tooling that files the inventory items.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: cargo run -p xtask -- lint [--fix-inventory]");
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "lint" => {
+            let json = args.iter().any(|a| a == "--fix-inventory");
+            let unknown: Vec<&String> = args[1..]
+                .iter()
+                .filter(|a| a.as_str() != "--fix-inventory")
+                .collect();
+            if !unknown.is_empty() {
+                eprintln!("unknown lint option(s): {unknown:?}");
+                return ExitCode::from(2);
+            }
+            run_lint(json)
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`; expected `lint`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint(json: bool) -> ExitCode {
+    // xtask lives at <root>/crates/xtask.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask sits two levels under the workspace root");
+    match xtask::lint_workspace(root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.render());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("lint failed to scan the workspace: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -9,9 +9,7 @@ use diffusion::{split_samples, RetweetTask};
 use ml::metrics::{map_at_k, rank_by_score, ClassificationReport};
 use retina_core::detector::HateDetector;
 use retina_core::features::{RetweetFeatures, TextModels};
-use retina_core::retina::{
-    default_intervals, pack_sample, Retina, RetinaConfig, RetinaMode,
-};
+use retina_core::retina::{default_intervals, pack_sample, Retina, RetinaConfig, RetinaMode};
 use retina_core::trainer::{train_retina, TrainConfig};
 use socialsim::{Dataset, SimConfig};
 
@@ -77,12 +75,7 @@ fn main() {
             ys.extend_from_slice(&p.labels);
         }
         let rep = ClassificationReport::from_scores(&ys, &ss);
-        println!(
-            "  {:18} {} | MAP@20 {:.3}",
-            name,
-            rep,
-            map_at_k(&lists, 20)
-        );
+        println!("  {:18} {} | MAP@20 {:.3}", name, rep, map_at_k(&lists, 20));
     };
 
     println!("\n== RETINA variants (Table VI core rows) ==");

@@ -107,11 +107,6 @@ fn silver_and_gold_labels_differ_but_correlate() {
     let det = HateDetector::train(&data, &models, 0.6, 0);
     let silver = det.silver_labels(&data, &models);
     let gold: Vec<bool> = data.tweets().iter().map(|t| t.hate).collect();
-    let agree = silver
-        .iter()
-        .zip(&gold)
-        .filter(|(s, g)| s == g)
-        .count() as f64
-        / gold.len() as f64;
+    let agree = silver.iter().zip(&gold).filter(|(s, g)| s == g).count() as f64 / gold.len() as f64;
     assert!(agree > 0.85, "agreement {agree}");
 }

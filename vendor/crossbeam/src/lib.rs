@@ -1,0 +1,79 @@
+//! Offline stand-in for `crossbeam`: scoped threads with the
+//! `crossbeam::scope` calling convention (`scope(|s| ...) -> Result`,
+//! spawn closures receiving `&Scope`), implemented over
+//! `std::thread::scope`. Worker panics surface as `Err` from [`scope`],
+//! matching crossbeam's contract.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scope handle passed to [`scope`] and to every spawned closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker; the closure receives the scope (crossbeam style) so
+    /// it can spawn nested workers.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Run `f` with a scope; all spawned workers are joined before returning.
+/// Returns `Err` with the panic payload if any worker (or `f`) panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_fill_disjoint_chunks() {
+        let mut out = vec![0usize; 8];
+        scope(|s| {
+            for (i, chunk) in out.chunks_mut(2).enumerate() {
+                s.spawn(move |_| {
+                    for v in chunk.iter_mut() {
+                        *v = i + 1;
+                    }
+                });
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(out, vec![1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scope_returns_value() {
+        let r = scope(|_| 41 + 1).expect("no panic");
+        assert_eq!(r, 42);
+    }
+}
