@@ -19,6 +19,13 @@ fi
 step "xtask lint"
 cargo run -p xtask -- lint
 
+step "xtask analyze"
+# Semantic passes (A1 shape-flow, A2 determinism, A3 cast-safety).
+# Fails on any finding not grandfathered in xtask-baseline.json; the
+# SARIF log is kept for CI systems and editors that ingest it.
+mkdir -p target
+cargo run -p xtask -- analyze --format sarif --baseline > target/analyze.sarif
+
 step "cargo build --release"
 cargo build --release
 

@@ -2,7 +2,7 @@
 //! u_i in G, and number of times u_i has retweeted tweets by u₀."
 
 use socialsim::{Dataset, UserId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Number of peer features.
 pub const PEER_DIM: usize = 2;
@@ -11,15 +11,16 @@ pub const PEER_DIM: usize = 2;
 const SP_CAP: usize = 4;
 
 /// Precomputed retweet interactions: author → sorted (time, retweeter).
+/// `BTreeMap` keeps author iteration order deterministic (A2).
 pub struct PeerSignals<'a> {
     data: &'a Dataset,
-    by_author: HashMap<UserId, Vec<(f64, u32)>>,
+    by_author: BTreeMap<UserId, Vec<(f64, u32)>>,
 }
 
 impl<'a> PeerSignals<'a> {
     /// Build the interaction index from the corpus.
     pub fn new(data: &'a Dataset) -> Self {
-        let mut by_author: HashMap<UserId, Vec<(f64, u32)>> = HashMap::new();
+        let mut by_author: BTreeMap<UserId, Vec<(f64, u32)>> = BTreeMap::new();
         for t in data.root_tweets() {
             let entry = by_author.entry(t.user).or_default();
             for r in &t.retweets {

@@ -27,6 +27,7 @@ pub mod experiments;
 pub mod features;
 pub mod hategen;
 pub mod retina;
+pub mod seed;
 pub mod trainer;
 
 pub use detector::HateDetector;

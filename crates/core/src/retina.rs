@@ -15,6 +15,7 @@
 //! `w = λ(log C − log C⁺)`.
 
 use crate::features::RetweetFeatures;
+use crate::seed::SeedStream;
 use diffusion::CascadeSample;
 use ml::StandardScaler;
 use nn::{Activation, ActivationKind, Dense, ExogenousAttention, Gru, Lstm, Matrix, SimpleRnn};
@@ -241,36 +242,38 @@ pub struct Retina {
     dyn_cache: Option<Vec<Matrix>>,
 }
 
+/// Decorrelated per-layer seeds, in lane order: user dense, exogenous
+/// attention, static head, recurrent cell, dynamic step head.
+fn layer_seeds(base: u64) -> [u64; 5] {
+    let mut stream = SeedStream::new(base);
+    [(); 5].map(|()| stream.next_seed())
+}
+
 impl Retina {
     /// Create an untrained model for `d_user`-dimensional candidate
     /// features.
     pub fn new(d_user: usize, config: RetinaConfig) -> Self {
         let h = config.hdim;
-        let user_dense = Dense::new(d_user, h, config.seed);
+        // Every lane is drawn unconditionally so the layer→seed mapping
+        // is independent of which components the config enables.
+        let [s_user, s_attn, s_static, s_cell, s_step] = layer_seeds(config.seed);
+        let user_dense = Dense::new(d_user, h, s_user);
         let user_act = Activation::new(ActivationKind::Relu);
-        let attention = config.use_exogenous.then(|| {
-            ExogenousAttention::new(config.d2v_dim, config.d2v_dim, h, config.seed ^ 0xA77)
-        });
+        let attention = config
+            .use_exogenous
+            .then(|| ExogenousAttention::new(config.d2v_dim, config.d2v_dim, h, s_attn));
         let merged = if config.use_exogenous { 2 * h } else { h };
         let (out_dense, recurrent, step_dense) = match config.mode {
-            RetinaMode::Static => (Some(Dense::new(merged, 1, config.seed ^ 0x51A)), None, None),
+            RetinaMode::Static => (Some(Dense::new(merged, 1, s_static)), None, None),
             RetinaMode::Dynamic => {
                 let cell = match config.recurrent {
-                    RecurrentKind::Gru => {
-                        RecurrentCell::Gru(Gru::new(merged, h, config.seed ^ 0xD11))
-                    }
-                    RecurrentKind::Lstm => {
-                        RecurrentCell::Lstm(Lstm::new(merged, h, config.seed ^ 0xD12))
-                    }
+                    RecurrentKind::Gru => RecurrentCell::Gru(Gru::new(merged, h, s_cell)),
+                    RecurrentKind::Lstm => RecurrentCell::Lstm(Lstm::new(merged, h, s_cell)),
                     RecurrentKind::SimpleRnn => {
-                        RecurrentCell::Rnn(SimpleRnn::new(merged, h, config.seed ^ 0xD13))
+                        RecurrentCell::Rnn(SimpleRnn::new(merged, h, s_cell))
                     }
                 };
-                (
-                    None,
-                    Some(cell),
-                    Some(Dense::new(h, 1, config.seed ^ 0xD14)),
-                )
+                (None, Some(cell), Some(Dense::new(h, 1, s_step)))
             }
         };
         Self {
@@ -495,6 +498,25 @@ fn sigmoid(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn layer_seeds_are_pairwise_distinct_for_representative_bases() {
+        // The old `seed ^ 0xA77` derivation produced correlated seeds
+        // (for base 0 they *were* the constants); the splitmix64 stream
+        // must yield pairwise-distinct lanes for degenerate bases too.
+        for base in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+            let seeds = layer_seeds(base);
+            for i in 0..seeds.len() {
+                for j in i + 1..seeds.len() {
+                    assert_ne!(
+                        seeds[i], seeds[j],
+                        "lanes {i} and {j} collide for base {base:#x}"
+                    );
+                }
+            }
+        }
+        assert_ne!(layer_seeds(0), layer_seeds(1));
+    }
 
     fn toy_sample(n: usize, d: usize, k: usize, hateful: bool, seed: u64) -> PackedSample {
         use rand::rngs::StdRng;

@@ -153,7 +153,7 @@ impl ForestModel {
             .map(|(&c, _)| c)
             .collect();
 
-        let inputs = &seq[..seq.len() - 1];
+        let inputs = &seq[..seq.len().saturating_sub(1)];
         // Structural-context inputs (neighbour aggregation). Gradients are
         // scattered back through the aggregation uniformly.
         let mut ctx_ids: Vec<Vec<usize>> = Vec::with_capacity(inputs.len());
@@ -171,6 +171,7 @@ impl ForestModel {
             .collect();
         for t in 0..hs.len() {
             let target = seq[t + 1];
+            // lint: allow(lossy-cast) user ids are bounded by n_users, far below u32::MAX
             let negs = sample_negatives(&negatives_pool, target as u32, self.config.negatives, rng);
             let mut ids = vec![target];
             ids.extend(negs.iter().map(|&c| c as usize));

@@ -106,6 +106,7 @@ impl Hidan {
                 self.seen[u as usize] = true;
             }
         }
+        // lint: allow(lossy-cast) user ids are bounded by n_users, far below u32::MAX
         let seen_pool: Vec<u32> = (0..self.seen.len() as u32)
             .filter(|&u| self.seen[u as usize])
             .collect();
@@ -143,6 +144,7 @@ impl Hidan {
         for &(target, t_target) in &steps {
             let ctx = self.context(&prefix, t_target);
             // Negatives from the seen world only (HIDAN's restriction).
+            // lint: allow(lossy-cast) user ids are bounded by n_users, far below u32::MAX
             let negs = sample_negatives(seen_pool, target as u32, self.config.negatives, rng);
             let mut ids = vec![target];
             ids.extend(negs.iter().map(|&c| c as usize));

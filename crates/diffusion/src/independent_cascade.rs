@@ -29,6 +29,7 @@ impl IndependentCascade {
     fn simulate(&self, graph: &FollowerGraph, seed_user: usize, rng: &mut StdRng) -> Vec<u32> {
         let mut active = vec![false; graph.n_users()];
         active[seed_user] = true;
+        // lint: allow(lossy-cast) user ids are bounded by n_users, far below u32::MAX
         let mut frontier = vec![seed_user as u32];
         let mut activated = Vec::new();
         while let Some(u) = frontier.pop() {

@@ -91,6 +91,7 @@ impl SirModel {
         }
         let mut state = vec![State::S; graph.n_users()];
         state[seed_user] = State::I;
+        // lint: allow(lossy-cast) user ids are bounded by n_users, far below u32::MAX
         let mut infectious = vec![seed_user as u32];
         let mut infected_ever = Vec::new();
         for _ in 0..self.max_steps {

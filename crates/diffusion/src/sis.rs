@@ -41,6 +41,7 @@ impl SisModel {
         let mut infectious = vec![false; graph.n_users()];
         infectious[seed_user] = true;
         let mut ever = vec![false; graph.n_users()];
+        // lint: allow(lossy-cast) user ids are bounded by n_users, far below u32::MAX
         let mut active = vec![seed_user as u32];
         let mut infected_order = Vec::new();
         for _ in 0..self.max_steps {

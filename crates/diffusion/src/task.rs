@@ -81,7 +81,9 @@ impl RetweetTask {
                 continue;
             }
             let followers = graph.followers(tweet.user);
-            let retweeter_time: std::collections::HashMap<u32, f64> = tweet
+            // BTreeMap: iteration below feeds `retweeters_in_order`, and
+            // time ties must not fall back to hasher-dependent order (A2).
+            let retweeter_time: std::collections::BTreeMap<u32, f64> = tweet
                 .retweets
                 .iter()
                 .map(|r| (r.user, r.time_hours))
@@ -182,6 +184,23 @@ mod tests {
                 "each sample has a positive"
             );
             assert!(s.candidates.len() <= 120 + s.retweeters_in_order.len());
+        }
+    }
+
+    #[test]
+    fn build_replays_identically() {
+        // Determinism regression (A2 fix): `retweeter_time` iteration
+        // feeds `retweeters_in_order`, so two builds must agree exactly
+        // even where retweet times tie.
+        let d = data();
+        let task = RetweetTask::default();
+        let a = task.build(&d);
+        let b = task.build(&d);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.candidates, y.candidates);
+            assert_eq!(x.labels, y.labels);
+            assert_eq!(x.retweeters_in_order, y.retweeters_in_order);
         }
     }
 

@@ -44,6 +44,7 @@ impl ThresholdModel {
         let mut active = vec![false; n];
         active[seed_user] = true;
         let mut activated = Vec::new();
+        // lint: allow(lossy-cast) user ids are bounded by n_users, far below u32::MAX
         let mut frontier = vec![seed_user as u32];
         for _ in 0..self.max_rounds {
             if frontier.is_empty() {

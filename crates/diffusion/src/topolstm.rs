@@ -114,7 +114,7 @@ impl TopoLstm {
             .collect();
 
         // Forward the input prefix through the LSTM.
-        let inputs = &seq[..seq.len() - 1];
+        let inputs = &seq[..seq.len().saturating_sub(1)];
         let x = self.emb_in.forward(inputs);
         let xs: Vec<Matrix> = (0..x.rows())
             .map(|r| Matrix::from_rows(&[x.row(r).to_vec()]))
@@ -127,6 +127,7 @@ impl TopoLstm {
             .collect();
         for t in 0..hs.len() {
             let target = seq[t + 1];
+            // lint: allow(lossy-cast) user ids are bounded by n_users, far below u32::MAX
             let negs = sample_negatives(&negatives_pool, target as u32, self.config.negatives, rng);
             let mut ids = vec![target];
             ids.extend(negs.iter().map(|&c| c as usize));

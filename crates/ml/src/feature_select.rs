@@ -113,6 +113,7 @@ fn quantile_bins(col: &[f64], bins: usize) -> Vec<usize> {
     while i < n {
         // Extend bin boundary over ties so equal values share a bin.
         let mut j = (i + per).min(n);
+        // lint: allow(index-underflow) per >= 1 and i >= 0, so j >= 1 whenever the loop guard j < n holds
         while j < n && col[idx[j]] == col[idx[j - 1]] {
             j += 1;
         }

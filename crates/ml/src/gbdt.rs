@@ -168,7 +168,7 @@ impl Gbdt {
             vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             let mut gl = 0.0;
             let mut hl = 0.0;
-            for k in 0..vals.len() - 1 {
+            for k in 0..vals.len().saturating_sub(1) {
                 gl += vals[k].1;
                 hl += vals[k].2;
                 if vals[k].0 == vals[k + 1].0 {

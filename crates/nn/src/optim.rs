@@ -70,8 +70,11 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Param]) {
         self.t += 1;
-        let b1t = 1.0 - self.beta1.powi(self.t as i32);
-        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        // Saturate: bias correction is indistinguishable from 1.0 long
+        // before i32::MAX steps, so clamping is exact there.
+        let t = i32::try_from(self.t).unwrap_or(i32::MAX);
+        let b1t = 1.0 - self.beta1.powi(t);
+        let b2t = 1.0 - self.beta2.powi(t);
         for p in params.iter_mut() {
             let n = p.len();
             for i in 0..n {

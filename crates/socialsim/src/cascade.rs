@@ -210,12 +210,14 @@ pub fn susceptible_growth(
         .iter()
         .map(|&dt| {
             let horizon = t0 + dt;
-            let mut participant = std::collections::HashSet::new();
+            // BTreeSets: `participant` is iterated to accumulate the
+            // exposed set, so its order must be replayable (A2).
+            let mut participant = std::collections::BTreeSet::new();
             participant.insert(root_user as u32);
             for r in retweets.iter().filter(|r| r.time_hours <= horizon) {
                 participant.insert(r.user);
             }
-            let mut exposed = std::collections::HashSet::new();
+            let mut exposed = std::collections::BTreeSet::new();
             for &p in &participant {
                 for &f in graph.followers(p as usize) {
                     if !participant.contains(&f) {
@@ -370,6 +372,28 @@ mod tests {
         }
         let s = susceptible_growth(&graph, 0, &rts, 10.0, &offsets);
         assert_eq!(s.len(), offsets.len());
+    }
+
+    #[test]
+    fn susceptible_growth_is_pinned_on_a_hand_built_cascade() {
+        // Determinism regression (A2 fix): the exposed-set sizes on this
+        // hand-checkable graph must replay exactly, run after run.
+        // Graph: 1,2 follow 0; 3,4 follow 1; 3,5 follow 2.
+        let graph = FollowerGraph::from_followees(
+            vec![vec![], vec![0], vec![0], vec![1, 2], vec![1], vec![2]],
+            vec![0; 6],
+        );
+        let rt = |user: u32, t: f64, parent: u32| Retweet {
+            user,
+            time_hours: t,
+            depth: 1,
+            parent,
+        };
+        let rts = vec![rt(1, 1.0, 0), rt(2, 5.0, 0)];
+        let s = susceptible_growth(&graph, 0, &rts, 0.0, &[0.0, 2.0, 10.0]);
+        // t=0: {0} exposes {1,2}; t=2: {0,1} exposes {2,3,4};
+        // t=10: {0,1,2} exposes {3,4,5}.
+        assert_eq!(s, vec![2, 3, 3]);
     }
 
     #[test]

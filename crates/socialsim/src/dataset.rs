@@ -377,14 +377,17 @@ impl Dataset {
                 .collect();
             let n = roots.len();
             let total_rts: usize = roots.iter().map(|t| t.retweets.len()).sum();
-            let mut users: std::collections::HashSet<UserId> = std::collections::HashSet::new();
-            let mut users_all: std::collections::HashSet<UserId> = std::collections::HashSet::new();
+            // Count-only sets; named distinctly from the `users` roster
+            // field so the determinism pass (A2) can tell them apart.
+            let mut tweeting: std::collections::HashSet<UserId> = std::collections::HashSet::new();
+            let mut participating: std::collections::HashSet<UserId> =
+                std::collections::HashSet::new();
             let mut hateful = 0usize;
             for t in &roots {
-                users.insert(t.user);
-                users_all.insert(t.user);
+                tweeting.insert(t.user);
+                participating.insert(t.user);
                 for r in &t.retweets {
-                    users_all.insert(r.user as usize);
+                    participating.insert(r.user as usize);
                 }
                 if t.hate {
                     hateful += 1;
@@ -399,8 +402,8 @@ impl Dataset {
                 } else {
                     total_rts as f64 / n as f64
                 },
-                users: users.len(),
-                users_all: users_all.len(),
+                users: tweeting.len(),
+                users_all: participating.len(),
                 pct_hate: if n == 0 {
                     0.0
                 } else {

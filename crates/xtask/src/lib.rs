@@ -1,5 +1,7 @@
-//! Workspace correctness tooling. The `lint` subcommand runs a
-//! rule-driven scanner over every crate's library sources:
+//! Workspace correctness tooling.
+//!
+//! The `lint` subcommand runs a rule-driven line scanner over every
+//! crate's library sources:
 //!
 //! - R1  no `.unwrap()` / `.expect()` in non-test library code of the
 //!       model crates (nn, ml, diffusion, core)
@@ -10,11 +12,22 @@
 //! - R5  open-marker (todo/fixme) inventory — report-only, never fails
 //!       the lint
 //!
+//! The `analyze` subcommand runs the token-stream semantic passes
+//! (A1 shape-flow, A2 determinism, A3 cast-safety — see [`passes`]) with
+//! SARIF 2.1.0 output ([`sarif`]) and a committed finding baseline
+//! ([`baseline`]).
+//!
 //! Violations can be suppressed in place with
 //! `// lint: allow(<key>) <reason>` where `<key>` is one of
-//! `unwrap`, `float-cmp`, `prob-guard`, `index`; the reason is required.
+//! `unwrap`, `float-cmp`, `prob-guard`, `index` (lint) or `shape`,
+//! `determinism`, `lossy-cast`, `index-underflow` (analyze); the reason
+//! is required.
 
+pub mod baseline;
+pub mod lexer;
+pub mod passes;
 pub mod rules;
+pub mod sarif;
 pub mod source;
 
 use rules::{InventoryItem, Violation};
@@ -65,6 +78,25 @@ impl Report {
         out
     }
 
+    /// Per-crate (violations, inventory) counts, sorted by crate name.
+    pub fn per_crate_counts(&self) -> Vec<(String, usize, usize)> {
+        let mut counts: std::collections::BTreeMap<String, (usize, usize)> =
+            std::collections::BTreeMap::new();
+        for v in &self.violations {
+            counts
+                .entry(passes::crate_of(&v.path).to_string())
+                .or_default()
+                .0 += 1;
+        }
+        for item in &self.inventory {
+            counts
+                .entry(passes::crate_of(&item.path).to_string())
+                .or_default()
+                .1 += 1;
+        }
+        counts.into_iter().map(|(k, (v, i))| (k, v, i)).collect()
+    }
+
     /// Machine-readable inventory + violations (`--fix-inventory`).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"violations\": [\n");
@@ -97,8 +129,17 @@ impl Report {
                 }
             ));
         }
+        let per_crate = self.per_crate_counts();
+        out.push_str("  ],\n  \"per_crate\": {\n");
+        for (i, (name, v, inv)) in per_crate.iter().enumerate() {
+            out.push_str(&format!(
+                "    {}: {{\"violations\": {v}, \"inventory\": {inv}}}{}\n",
+                json_str(name),
+                if i + 1 < per_crate.len() { "," } else { "" }
+            ));
+        }
         out.push_str(&format!(
-            "  ],\n  \"files_scanned\": {}\n}}\n",
+            "  }},\n  \"files_scanned\": {}\n}}\n",
             self.files_scanned
         ));
         out
@@ -106,7 +147,7 @@ impl Report {
 }
 
 /// JSON string literal with escaping.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -167,7 +208,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
 }
 
 /// Recursively gather `.rs` files under `dir` (no-op when absent).
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     if !dir.is_dir() {
         return Ok(());
     }
@@ -303,6 +344,29 @@ mod tests {
     }
 
     #[test]
+    fn json_reports_per_crate_counts() {
+        let root = fixture(
+            "per-crate",
+            &[
+                (
+                    "crates/nn/src/a.rs",
+                    "// TODO: one marker\npub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+                ),
+                ("crates/ml/src/b.rs", "// FIXME: another marker\n"),
+            ],
+        );
+        let report = lint_workspace(&root).expect("lint runs");
+        let counts = report.per_crate_counts();
+        assert_eq!(
+            counts,
+            vec![("ml".to_string(), 0, 1), ("nn".to_string(), 1, 1)]
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"per_crate\""));
+        assert!(json.contains("\"nn\": {\"violations\": 1, \"inventory\": 1}"));
+    }
+
+    #[test]
     fn real_workspace_tree_is_clean() {
         // The acceptance gate: the shipped tree must lint clean.
         let root = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -317,5 +381,35 @@ mod tests {
             report.render()
         );
         assert!(report.files_scanned > 20, "walker found the crates");
+    }
+
+    #[test]
+    fn real_workspace_tree_analyzes_clean_with_baseline() {
+        // The analyze acceptance gate: A1+A2+A3 over the shipped tree,
+        // minus the committed baseline, must be clean.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_path_buf();
+        let mut report = passes::analyze_workspace(&root).expect("analyze runs");
+        let base = baseline::Baseline::load(&root).expect("baseline parses");
+        let (kept, absorbed) = base.apply(std::mem::take(&mut report.findings));
+        report.findings = kept;
+        report.baselined = absorbed;
+        assert!(
+            report.is_clean(),
+            "workspace has non-baselined analysis findings:\n{}",
+            report.render()
+        );
+        assert!(report.files_scanned > 20, "walker found the crates");
+        // The A1 pass extracted the RETINA graph and rendered it.
+        assert!(
+            report
+                .artifacts
+                .iter()
+                .any(|(name, dot)| name == "model_graph.dot" && dot.contains("digraph retina")),
+            "A1 produced no model-graph artifact"
+        );
     }
 }

@@ -1,9 +1,16 @@
 //! `cargo run -p xtask -- lint [--fix-inventory]`
+//! `cargo run -p xtask -- analyze [--format text|json|sarif] [--baseline]
+//!                                [--update-baseline] [--emit-dot <path>]`
 //!
-//! Exits nonzero when any R1–R4 violation (or malformed allow-comment)
-//! is found. The R5 open-marker (todo/fixme) inventory is always
-//! reported but never fails the run. `--fix-inventory` switches the
-//! output to JSON for tooling that files the inventory items.
+//! `lint` exits nonzero when any R1–R4 violation (or malformed
+//! allow-comment) is found. The R5 open-marker (todo/fixme) inventory
+//! is always reported but never fails the run. `--fix-inventory`
+//! switches the output to JSON for tooling that files the inventory
+//! items.
+//!
+//! `analyze` runs the semantic passes (A1 shape-flow, A2 determinism,
+//! A3 cast-safety) over the workspace and exits nonzero when any
+//! non-baselined warning/error-severity finding remains.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -11,7 +18,11 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: cargo run -p xtask -- lint [--fix-inventory]");
+        eprintln!(
+            "usage: cargo run -p xtask -- lint [--fix-inventory]\n       \
+             cargo run -p xtask -- analyze [--format text|json|sarif] \
+             [--baseline] [--update-baseline] [--emit-dot <path>]"
+        );
         return ExitCode::from(2);
     };
     match cmd.as_str() {
@@ -27,20 +38,30 @@ fn main() -> ExitCode {
             }
             run_lint(json)
         }
+        "analyze" => match AnalyzeOpts::parse(&args[1..]) {
+            Ok(opts) => run_analyze(&opts),
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        },
         other => {
-            eprintln!("unknown subcommand `{other}`; expected `lint`");
+            eprintln!("unknown subcommand `{other}`; expected `lint` or `analyze`");
             ExitCode::from(2)
         }
     }
 }
 
-fn run_lint(json: bool) -> ExitCode {
+fn workspace_root() -> &'static Path {
     // xtask lives at <root>/crates/xtask.
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .expect("xtask sits two levels under the workspace root");
-    match xtask::lint_workspace(root) {
+        .expect("xtask sits two levels under the workspace root")
+}
+
+fn run_lint(json: bool) -> ExitCode {
+    match xtask::lint_workspace(workspace_root()) {
         Ok(report) => {
             if json {
                 print!("{}", report.to_json());
@@ -57,5 +78,123 @@ fn run_lint(json: bool) -> ExitCode {
             eprintln!("lint failed to scan the workspace: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+struct AnalyzeOpts {
+    format: Format,
+    use_baseline: bool,
+    update_baseline: bool,
+    emit_dot: Option<String>,
+}
+
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+impl AnalyzeOpts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = AnalyzeOpts {
+            format: Format::Text,
+            use_baseline: false,
+            update_baseline: false,
+            emit_dot: None,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--format" => {
+                    opts.format = match it.next().map(String::as_str) {
+                        Some("text") => Format::Text,
+                        Some("json") => Format::Json,
+                        Some("sarif") => Format::Sarif,
+                        other => {
+                            return Err(format!("--format expects text|json|sarif, got {other:?}"))
+                        }
+                    };
+                }
+                "--baseline" => opts.use_baseline = true,
+                "--update-baseline" => opts.update_baseline = true,
+                "--emit-dot" => {
+                    opts.emit_dot =
+                        Some(it.next().ok_or("--emit-dot expects a file path")?.clone());
+                }
+                other => return Err(format!("unknown analyze option `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+fn run_analyze(opts: &AnalyzeOpts) -> ExitCode {
+    let root = workspace_root();
+    let mut report = match xtask::passes::analyze_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze failed to scan the workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.update_baseline {
+        if let Err(e) = xtask::baseline::Baseline::save(root, &report.findings) {
+            eprintln!("failed to write {}: {e}", xtask::baseline::BASELINE_FILE);
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "wrote {} grandfathering {} finding(s)",
+            xtask::baseline::BASELINE_FILE,
+            report.findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.use_baseline {
+        let base = match xtask::baseline::Baseline::load(root) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bad baseline: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (kept, absorbed) = base.apply(std::mem::take(&mut report.findings));
+        report.findings = kept;
+        report.baselined = absorbed;
+    }
+
+    if let Some(path) = &opts.emit_dot {
+        match report
+            .artifacts
+            .iter()
+            .find(|(name, _)| name == "model_graph.dot")
+        {
+            Some((_, dot)) => {
+                if let Err(e) = std::fs::write(path, dot) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                eprintln!("wrote model graph to {path}");
+            }
+            None => {
+                eprintln!("no model-graph artifact produced (A1 found no model file)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match opts.format {
+        Format::Text => print!("{}", report.render()),
+        Format::Json => print!("{}", report.to_json()),
+        Format::Sarif => print!(
+            "{}",
+            xtask::sarif::render(&report, &xtask::passes::registry())
+        ),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

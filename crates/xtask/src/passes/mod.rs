@@ -1,0 +1,315 @@
+//! The semantic analysis framework: a pass manager over pre-lexed
+//! sources. Unlike the line-based lint rules (R1–R5), passes see every
+//! file of the workspace as a token stream and can build cross-line IR
+//! (the A1 model graph) before reporting.
+//!
+//! Pass catalogue:
+//!
+//! - **A1 shape-flow** (`shape_flow`): extracts the RETINA layer
+//!   constructions from `crates/core/src/retina.rs`, builds a model-graph
+//!   IR, verifies dimension compatibility across the static and dynamic
+//!   heads, and renders the graph as DOT.
+//! - **A2 determinism** (`determinism`): unseeded RNG construction,
+//!   iteration over `HashMap`/`HashSet` (order-unstable) and wall-clock
+//!   reads in the model crates.
+//! - **A3 cast-safety** (`cast_safety`): lossy narrowing `as` casts and
+//!   unchecked `usize` subtraction in index arithmetic in the
+//!   `ml`/`nn`/`diffusion` kernels.
+//!
+//! Findings carry a severity; `Error` and `Warning` fail the run,
+//! `Note` never does. Suppression uses the same allow-comment machinery
+//! as the lint: `// lint: allow(<key>) <reason>` with the pass-specific
+//! keys `shape`, `determinism`, `lossy-cast`, `index-underflow`.
+
+pub mod cast_safety;
+pub mod determinism;
+pub mod shape_flow;
+
+use crate::lexer::{self, Token};
+use crate::source::SourceFile;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Finding severity. Ordering: `Error > Warning > Note`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Note,
+    Warning,
+    Error,
+}
+
+impl Severity {
+    /// SARIF `level` string.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+
+    /// Does this severity fail the run?
+    pub fn is_failing(self) -> bool {
+        self >= Severity::Warning
+    }
+}
+
+/// One semantic finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Pass id: "A1".."A3" (or "allow" for malformed allow-comments).
+    pub rule: &'static str,
+    /// Allow-comment key that suppresses this finding.
+    pub key: &'static str,
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+impl Finding {
+    /// Stable content fingerprint for the baseline: FNV-1a over
+    /// rule + path + message, deliberately excluding the line number so
+    /// unrelated edits above a grandfathered finding do not invalidate
+    /// the baseline.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(0xcbf29ce484222325, self.rule.as_bytes());
+        h = fnv1a(h, b"|");
+        h = fnv1a(h, self.path.as_bytes());
+        h = fnv1a(h, b"|");
+        h = fnv1a(h, self.message.as_bytes());
+        h
+    }
+}
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// A pre-lexed source file shared by all passes.
+pub struct AnalyzedFile {
+    pub source: SourceFile,
+    pub tokens: Vec<Token>,
+}
+
+impl AnalyzedFile {
+    /// Crate name for a `crates/<name>/src/...` path (`"root"` for the
+    /// workspace package's own `src/`).
+    pub fn crate_name(&self) -> &str {
+        crate_of(&self.source.path)
+    }
+}
+
+/// Crate name component of a workspace-relative path.
+pub fn crate_of(path: &str) -> &str {
+    match path.strip_prefix("crates/") {
+        Some(rest) => rest.split('/').next().unwrap_or("root"),
+        None => "root",
+    }
+}
+
+/// Everything a pass gets to look at.
+pub struct Context {
+    pub files: Vec<AnalyzedFile>,
+}
+
+impl Context {
+    /// The file whose path ends with `suffix`, if present.
+    pub fn file_ending_with(&self, suffix: &str) -> Option<&AnalyzedFile> {
+        self.files.iter().find(|f| f.source.path.ends_with(suffix))
+    }
+}
+
+/// Output of one pass: findings plus optional named artifacts (the A1
+/// pass emits the DOT model-graph rendering this way).
+#[derive(Debug, Default)]
+pub struct PassOutput {
+    pub findings: Vec<Finding>,
+    /// (artifact name, content) pairs, e.g. `("model_graph.dot", …)`.
+    pub artifacts: Vec<(String, String)>,
+}
+
+/// A registered semantic pass.
+pub trait Pass {
+    /// Stable rule id ("A1", "A2", "A3").
+    fn id(&self) -> &'static str;
+    /// One-line description (used in SARIF rule metadata).
+    fn description(&self) -> &'static str;
+    fn run(&self, ctx: &Context) -> PassOutput;
+}
+
+/// All registered passes, in execution order.
+pub fn registry() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(shape_flow::ShapeFlow),
+        Box::new(determinism::Determinism),
+        Box::new(cast_safety::CastSafety),
+    ]
+}
+
+/// Combined result of an analysis run.
+#[derive(Debug, Default)]
+pub struct AnalysisReport {
+    pub findings: Vec<Finding>,
+    pub artifacts: Vec<(String, String)>,
+    pub files_scanned: usize,
+    /// Findings suppressed by the baseline (count only).
+    pub baselined: usize,
+}
+
+impl AnalysisReport {
+    /// Does the run pass? (no Error/Warning findings left)
+    pub fn is_clean(&self) -> bool {
+        !self.findings.iter().any(|f| f.severity.is_failing())
+    }
+
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}/{}] {}\n",
+                f.path,
+                f.line,
+                f.rule,
+                f.severity.sarif_level(),
+                f.message
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} file(s) analyzed, {} finding(s){}\n",
+            self.files_scanned,
+            self.findings.len(),
+            if self.baselined > 0 {
+                format!(" ({} baselined)", self.baselined)
+            } else {
+                String::new()
+            }
+        ));
+        out
+    }
+
+    /// Machine-readable JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \
+                 \"fingerprint\": \"{:016x}\", \"message\": {}}}{}\n",
+                crate::json_str(f.rule),
+                crate::json_str(f.severity.sarif_level()),
+                crate::json_str(&f.path),
+                f.line,
+                f.fingerprint(),
+                crate::json_str(&f.message),
+                if i + 1 < self.findings.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"files_scanned\": {},\n  \"baselined\": {}\n}}\n",
+            self.files_scanned, self.baselined
+        ));
+        out
+    }
+}
+
+/// Run every registered pass over the workspace at `root`. Reuses the
+/// lint's file walker (library sources only; vendor/, tests/, benches/
+/// are out of scope).
+pub fn analyze_workspace(root: &Path) -> std::io::Result<AnalysisReport> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            crate::collect_rs(&member.join("src"), &mut files)?;
+        }
+    }
+    crate::collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+
+    let mut analyzed = Vec::new();
+    for path in &files {
+        let raw = fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = SourceFile::parse(&rel, &raw);
+        let tokens = lexer::lex(&source);
+        analyzed.push(AnalyzedFile { source, tokens });
+    }
+    let ctx = Context { files: analyzed };
+
+    let mut report = AnalysisReport {
+        files_scanned: ctx.files.len(),
+        ..Default::default()
+    };
+    for pass in registry() {
+        let mut out = pass.run(&ctx);
+        report.findings.append(&mut out.findings);
+        report.artifacts.append(&mut out.artifacts);
+    }
+    report.findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_and_failing() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+        assert!(Severity::Error.is_failing());
+        assert!(Severity::Warning.is_failing());
+        assert!(!Severity::Note.is_failing());
+    }
+
+    #[test]
+    fn fingerprint_ignores_line_number() {
+        let a = Finding {
+            rule: "A3",
+            key: "lossy-cast",
+            severity: Severity::Warning,
+            path: "crates/ml/src/x.rs".into(),
+            line: 10,
+            message: "m".into(),
+        };
+        let b = Finding {
+            line: 99,
+            ..a.clone()
+        };
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = Finding {
+            message: "other".into(),
+            ..a.clone()
+        };
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn crate_of_maps_paths() {
+        assert_eq!(crate_of("crates/ml/src/gbdt.rs"), "ml");
+        assert_eq!(crate_of("src/lib.rs"), "root");
+    }
+}

@@ -1,0 +1,135 @@
+//! SARIF 2.1.0 emission for analysis findings, so CI systems and
+//! editors that speak the OASIS Static Analysis Results Interchange
+//! Format can ingest `xtask analyze` output directly
+//! (`--format sarif`).
+//!
+//! Only the required subset of the schema is produced: one `run` with
+//! the tool driver, its rule catalogue, and one `result` per finding
+//! with a physical location. Everything is emitted deterministically
+//! (findings arrive pre-sorted from the pass manager).
+
+use crate::json_str;
+use crate::passes::{AnalysisReport, Pass};
+
+/// SARIF schema URI (2.1.0 final).
+const SCHEMA: &str =
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json";
+
+/// Render a full SARIF 2.1.0 log for one analysis run.
+pub fn render(report: &AnalysisReport, passes: &[Box<dyn Pass>]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"$schema\": {},\n", json_str(SCHEMA)));
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"xtask-analyze\",\n");
+    out.push_str("          \"informationUri\": \"https://github.com/LCS2-IIITD/RETINA\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, pass) in passes.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+            json_str(pass.id()),
+            json_str(pass.description()),
+            if i + 1 < passes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}, \
+             \"partialFingerprints\": {{\"xtask/v1\": \"{:016x}\"}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            json_str(f.rule),
+            json_str(f.severity.sarif_level()),
+            json_str(&f.message),
+            f.fingerprint(),
+            json_str(&f.path),
+            f.line.max(1),
+            if i + 1 < report.findings.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::{registry, AnalysisReport, Finding, Severity};
+
+    fn sample_report() -> AnalysisReport {
+        AnalysisReport {
+            findings: vec![Finding {
+                rule: "A2",
+                key: "determinism",
+                severity: Severity::Error,
+                path: "crates/ml/src/x.rs".into(),
+                line: 7,
+                message: "unseeded RNG with \"quotes\" and a \\ backslash".into(),
+            }],
+            artifacts: Vec::new(),
+            files_scanned: 1,
+            baselined: 0,
+        }
+    }
+
+    #[test]
+    fn sarif_has_required_fields_and_escapes() {
+        let s = render(&sample_report(), &registry());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"$schema\""));
+        assert!(s.contains("\"ruleId\": \"A2\""));
+        assert!(s.contains("\"level\": \"error\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("\\\"quotes\\\""));
+        assert!(s.contains("rules"));
+        // All three registered passes appear in the rule catalogue.
+        for id in ["A1", "A2", "A3"] {
+            assert!(
+                s.contains(&format!("\"id\": \"{id}\"")),
+                "missing rule {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn sarif_is_balanced_json() {
+        let s = render(&sample_report(), &registry());
+        // Quick structural sanity: balanced braces/brackets outside strings.
+        let mut in_str = false;
+        let mut esc = false;
+        let (mut braces, mut brackets) = (0i64, 0i64);
+        for c in s.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' if !in_str => braces += 1,
+                '}' if !in_str => braces -= 1,
+                '[' if !in_str => brackets += 1,
+                ']' if !in_str => brackets -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(braces, 0);
+        assert_eq!(brackets, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn empty_report_is_still_valid() {
+        let report = AnalysisReport::default();
+        let s = render(&report, &registry());
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+}
