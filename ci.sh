@@ -32,6 +32,12 @@ cargo build --release
 step "cargo test"
 cargo test -q
 
+step "criterion smoke (bench --test)"
+# One sample per benchmark — proves the bench suite still compiles and
+# every routine runs, without paying for real measurements. Full numbers
+# come from `cargo run -p xtask -- bench-report` (see BENCH_kernels.json).
+cargo bench -p bench --bench substrates -- --test
+
 if [[ "${1:-}" == "--sanitize" ]]; then
     step "cargo test --features sanitize"
     cargo test -q --features sanitize

@@ -200,9 +200,8 @@ pub fn run(ctx: &ExperimentContext, cfg: &SuiteConfig, which: SuiteModels) -> Re
 
     let feats = RetweetFeatures::new(&ctx.data, &ctx.models, &ctx.silver);
     let intervals = crate::retina::default_intervals();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // 0 = auto; honors the RETINA_THREADS env override.
+    let threads = nn::par::resolve(0);
     let packed_train: Vec<PackedSample> =
         pack_samples_parallel(&feats, &train, &intervals, cfg.news_k, threads);
     let packed_test: Vec<PackedSample> =

@@ -57,6 +57,11 @@ pub struct RetinaConfig {
     pub recurrent: RecurrentKind,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for packing/kernels (`0` = auto-detect). The
+    /// `RETINA_THREADS` environment variable overrides this; see
+    /// [`nn::par::resolve`]. Never affects results — parallel and serial
+    /// runs are bit-identical.
+    pub threads: usize,
 }
 
 impl RetinaConfig {
@@ -71,6 +76,7 @@ impl RetinaConfig {
             intervals: default_intervals(),
             recurrent: RecurrentKind::Gru,
             seed: 0,
+            threads: 0,
         }
     }
 
@@ -173,9 +179,21 @@ pub fn pack_sample(
 }
 
 /// Pack many samples in parallel across `n_threads` worker threads
-/// (crossbeam scoped threads; the extractor's caches are `parking_lot`
-/// mutexes, so one extractor is shared by all workers). Output order
-/// matches `samples`.
+/// (the [`nn::par`] chunked work-splitter; the extractor's caches are
+/// `parking_lot` mutexes, so one extractor is shared by all workers).
+///
+/// ## Why chunking cannot reorder outputs
+///
+/// Each sample `i` is packed into the output slot at index `i`, and the
+/// contiguous index-chunk partition assigns every slot to exactly one
+/// worker — a sample's result never travels through a shared queue or
+/// channel that could interleave it with another worker's results. The
+/// thread count only decides *who* fills a slot, never *which* slot is
+/// filled or *what* value goes into it (packing a sample reads shared
+/// caches but each sample's output is a pure function of the sample).
+/// Hence the output `Vec` is bit-identical to the serial
+/// `samples.iter().map(pack_sample)` for any `n_threads`; the test suite
+/// (`tests/parallel_packing.rs`) pins this for 1, 3, and 7 threads.
 pub fn pack_samples_parallel(
     features: &RetweetFeatures<'_>,
     samples: &[CascadeSample],
@@ -190,21 +208,9 @@ pub fn pack_samples_parallel(
             .map(|s| pack_sample(features, s, intervals, news_k))
             .collect();
     }
-    let mut out: Vec<Option<PackedSample>> = (0..samples.len()).map(|_| None).collect();
-    let chunk = samples.len().div_ceil(n_threads);
-    crossbeam::scope(|scope| {
-        for (slot_chunk, sample_chunk) in out.chunks_mut(chunk).zip(samples.chunks(chunk)) {
-            scope.spawn(move |_| {
-                for (slot, s) in slot_chunk.iter_mut().zip(sample_chunk) {
-                    *slot = Some(pack_sample(features, s, intervals, news_k));
-                }
-            });
-        }
+    nn::par::map_indexed(samples.len(), n_threads, |i| {
+        pack_sample(features, &samples[i], intervals, news_k)
     })
-    // lint: allow(unwrap) a worker panic must propagate to the trainer
-    .expect("packing worker panicked");
-    // lint: allow(unwrap) the chunk partition writes every slot exactly once
-    out.into_iter().map(|p| p.expect("slot filled")).collect()
 }
 
 /// One-hot interval membership of a retweet time.

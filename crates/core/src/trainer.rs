@@ -96,6 +96,9 @@ pub fn class_weight(samples: &[PackedSample], mode: RetinaMode, lambda: f64) -> 
 /// Train a RETINA model in place; returns the mean training loss per
 /// epoch (useful for convergence checks).
 pub fn train_retina(model: &mut Retina, train: &[PackedSample], config: &TrainConfig) -> Vec<f64> {
+    // Publish the model's thread knob to the nn kernels. Thread count
+    // never changes results (see nn::par), only wall-clock time.
+    nn::par::set_threads(nn::par::resolve(model.config.threads));
     model.fit_scaler(train);
     let bce = class_weight(train, model.config.mode, config.lambda);
     let mut adam = Adam::new(config.lr);

@@ -19,6 +19,12 @@ pub struct RandomForestConfig {
     pub subsample: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for tree fitting (`0` = auto-detect; the
+    /// `RETINA_THREADS` environment variable overrides, see
+    /// [`nn::par::resolve`]). Bootstrap draws stay serial and each tree
+    /// owns a seeded RNG, so the fitted forest is identical for any
+    /// thread count.
+    pub threads: usize,
 }
 
 impl Default for RandomForestConfig {
@@ -31,6 +37,7 @@ impl Default for RandomForestConfig {
             },
             subsample: 1.0,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -70,10 +77,10 @@ impl Classifier for RandomForest {
             .max_features
             .unwrap_or_else(|| ((d as f64).sqrt().ceil() as usize).max(1));
 
-        self.trees.clear();
-        self.trees.reserve(self.config.n_estimators);
-        for t in 0..self.config.n_estimators {
-            // Bootstrap sample.
+        // Bootstrap draws consume the forest's single RNG stream, so they
+        // run serially, in tree order, exactly as before.
+        let mut bootstraps = Vec::with_capacity(self.config.n_estimators);
+        for _ in 0..self.config.n_estimators {
             let mut bx = Vec::with_capacity(sample_n);
             let mut by = Vec::with_capacity(sample_n);
             for _ in 0..sample_n {
@@ -89,13 +96,22 @@ impl Classifier for RandomForest {
                     by.push(y[j]);
                 }
             }
+            bootstraps.push((bx, by));
+        }
+        // Tree fits are independent (each tree derives its own seeded
+        // RNG from the tree index) and land in index-order slots, so the
+        // fitted forest is identical for any worker count. Per-tree cost
+        // varies with the bootstrap, hence the dynamic splitter.
+        let workers = nn::par::resolve(self.config.threads).min(self.config.n_estimators.max(1));
+        self.trees = nn::par::map_indexed_dynamic(self.config.n_estimators, workers, |t| {
+            let (bx, by) = &bootstraps[t];
             let mut cfg = self.config.tree.clone();
             cfg.max_features = Some(max_features);
             cfg.seed = self.config.seed.wrapping_add(t as u64 * 7919 + 1);
             let mut tree = DecisionTree::new(cfg);
-            tree.fit(&bx, &by);
-            self.trees.push(tree);
-        }
+            tree.fit(bx, by);
+            tree
+        });
     }
 
     fn predict_proba(&self, x: &[f64]) -> f64 {

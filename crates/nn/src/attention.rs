@@ -15,7 +15,7 @@
 //! the tests).
 
 use crate::param::Param;
-use crate::tensor::Matrix;
+use crate::tensor::{Matrix, MatrixPool};
 
 /// The exogenous attention block of RETINA.
 #[derive(Debug, Clone)]
@@ -28,16 +28,24 @@ pub struct ExogenousAttention {
     pub wv: Param,
     hdim: usize,
     cache: Option<Cache>,
+    /// Scratch buffers reused across calls; retired cache matrices are
+    /// recycled here at the start of each forward.
+    pool: MatrixPool,
 }
 
+/// Forward cache. News-side matrices are stored *stacked*: item `i`
+/// occupies rows `i·batch .. (i+1)·batch`. Stacking lets the k per-item
+/// projections run as one matmul while leaving every output row's
+/// accumulation untouched (a matmul row only reads its own input row),
+/// so the stacked form is bit-identical to the per-item form.
 #[derive(Debug, Clone)]
 struct Cache {
     xt: Matrix,
-    xn: Vec<Matrix>,
+    xn_all: Matrix, // (k·batch) × d_n
     q: Matrix,
-    keys: Vec<Matrix>,
-    values: Vec<Matrix>,
-    attn: Matrix, // batch × k
+    keys_all: Matrix,   // (k·batch) × h
+    values_all: Matrix, // (k·batch) × h
+    attn: Matrix,       // batch × k
 }
 
 impl ExogenousAttention {
@@ -49,6 +57,7 @@ impl ExogenousAttention {
             wv: Param::xavier(news_dim, hdim, seed.wrapping_add(2)),
             hdim,
             cache: None,
+            pool: MatrixPool::new(),
         }
     }
 
@@ -62,41 +71,72 @@ impl ExogenousAttention {
     pub fn forward(&mut self, xt: &Matrix, xn: &[Matrix]) -> Matrix {
         assert!(!xn.is_empty(), "attention needs at least one news item");
         let batch = xt.rows();
+        assert!(
+            xn.iter().all(|n| n.rows() == batch),
+            "news batch size must match tweet batch size"
+        );
+        if let Some(old) = self.cache.take() {
+            for m in [
+                old.xt,
+                old.xn_all,
+                old.q,
+                old.keys_all,
+                old.values_all,
+                old.attn,
+            ] {
+                self.pool.recycle(m);
+            }
+        }
         let k = xn.len();
         let scale = 1.0 / (self.hdim as f64).sqrt();
 
-        let q = xt.matmul(&self.wq.value);
-        let keys: Vec<Matrix> = xn.iter().map(|n| n.matmul(&self.wk.value)).collect();
-        let values: Vec<Matrix> = xn.iter().map(|n| n.matmul(&self.wv.value)).collect();
+        let mut q = self.pool.grab(0, 0);
+        xt.matmul_into(&self.wq.value, &mut q);
+        // Project all k news items with one matmul each over the stacked
+        // (k·batch × d_n) input — bit-identical to k per-item matmuls
+        // because each output row only accumulates over its own input row.
+        let mut xn_all = self.pool.grab(0, 0);
+        Matrix::vstack_into(xn, &mut xn_all);
+        let mut keys_all = self.pool.grab(0, 0);
+        xn_all.matmul_into(&self.wk.value, &mut keys_all);
+        let mut values_all = self.pool.grab(0, 0);
+        xn_all.matmul_into(&self.wv.value, &mut values_all);
 
-        let mut logits = Matrix::zeros(batch, k);
-        for (i, key) in keys.iter().enumerate() {
+        let mut attn = self.pool.grab(batch, k);
+        for i in 0..k {
             for b in 0..batch {
-                let s: f64 = q.row(b).iter().zip(key.row(b)).map(|(a, c)| a * c).sum();
-                logits.set(b, i, s * scale);
+                let s: f64 = q
+                    .row(b)
+                    .iter()
+                    .zip(keys_all.row(i * batch + b))
+                    .map(|(a, c)| a * c)
+                    .sum();
+                attn.set(b, i, s * scale);
             }
         }
-        let attn = logits.softmax_rows();
+        attn.softmax_rows_assign();
         crate::sanitize::check_finite("attention", "scaled_dot", &attn);
 
-        let mut out = Matrix::zeros(batch, self.hdim);
-        for (i, value) in values.iter().enumerate() {
+        let mut out = self.pool.grab(batch, self.hdim);
+        for i in 0..k {
             for b in 0..batch {
                 let a = attn.get(b, i);
                 let orow = out.row_mut(b);
-                for (o, &v) in orow.iter_mut().zip(value.row(b)) {
+                for (o, &v) in orow.iter_mut().zip(values_all.row(i * batch + b)) {
                     *o += a * v;
                 }
             }
         }
 
         crate::sanitize::check_finite("attention", "forward", &out);
+        let mut xt_cache = self.pool.grab(0, 0);
+        xt_cache.copy_from(xt);
         self.cache = Some(Cache {
-            xt: xt.clone(),
-            xn: xn.to_vec(),
+            xt: xt_cache,
+            xn_all,
             q,
-            keys,
-            values,
+            keys_all,
+            values_all,
             attn,
         });
         out
@@ -109,23 +149,28 @@ impl ExogenousAttention {
 
     /// Backward pass: accumulate kernel gradients; return
     /// `(d xt, d xn)`.
+    ///
+    /// All temporaries come from the scratch pool; kernel gradients are
+    /// computed into scratch then `add_assign`ed (never fused). The
+    /// `dq` and per-kernel accumulations sum over news items in index
+    /// order — reductions, kept serial per the [`crate::par`] contract.
     pub fn backward(&mut self, grad_out: &Matrix) -> (Matrix, Vec<Matrix>) {
         // lint: allow(unwrap) API contract: backward requires a prior forward
         let cache = self.cache.as_ref().expect("backward before forward");
         let batch = cache.xt.rows();
-        let k = cache.xn.len();
+        let k = cache.attn.cols();
         let scale = 1.0 / (self.hdim as f64).sqrt();
 
         // dV_i[b] = A[b,i]·gOut[b] ;  dA[b,i] = gOut[b]·V_i[b]
-        let mut d_values: Vec<Matrix> = Vec::with_capacity(k);
-        let mut d_attn = Matrix::zeros(batch, k);
+        // d_values is built stacked, mirroring the cache layout.
+        let mut dv_all = self.pool.grab(k * batch, self.hdim);
+        let mut d_attn = self.pool.grab(batch, k);
         for i in 0..k {
-            let mut dv = Matrix::zeros(batch, self.hdim);
             for b in 0..batch {
                 let a = cache.attn.get(b, i);
                 let g = grad_out.row(b);
-                let dvrow = dv.row_mut(b);
-                let vrow = cache.values[i].row(b);
+                let dvrow = dv_all.row_mut(i * batch + b);
+                let vrow = cache.values_all.row(i * batch + b);
                 let mut da = 0.0;
                 for ((dvv, &gv), &vv) in dvrow.iter_mut().zip(g).zip(vrow) {
                     *dvv = a * gv;
@@ -133,11 +178,10 @@ impl ExogenousAttention {
                 }
                 d_attn.set(b, i, da);
             }
-            d_values.push(dv);
         }
 
         // Softmax backward per row: dL[b,i] = A[b,i](dA[b,i] − Σ_j A dA).
-        let mut d_logits = Matrix::zeros(batch, k);
+        let mut d_logits = self.pool.grab(batch, k);
         for b in 0..batch {
             let dot: f64 = (0..k)
                 .map(|j| cache.attn.get(b, j) * d_attn.get(b, j))
@@ -147,21 +191,21 @@ impl ExogenousAttention {
             }
         }
 
-        // Through the scaled dot product.
-        let mut dq = Matrix::zeros(batch, self.hdim);
-        let mut d_keys: Vec<Matrix> = (0..k).map(|_| Matrix::zeros(batch, self.hdim)).collect();
+        // Through the scaled dot product. d_keys is built stacked.
+        let mut dq = self.pool.grab(batch, self.hdim);
+        let mut dk_all = self.pool.grab(k * batch, self.hdim);
         for i in 0..k {
             for b in 0..batch {
                 let ds = d_logits.get(b, i) * scale;
                 let qrow = cache.q.row(b);
-                let krow = cache.keys[i].row(b);
+                let krow = cache.keys_all.row(i * batch + b);
                 {
                     let dqrow = dq.row_mut(b);
                     for (dqv, &kv) in dqrow.iter_mut().zip(krow) {
                         *dqv += ds * kv;
                     }
                 }
-                let dkrow = d_keys[i].row_mut(b);
+                let dkrow = dk_all.row_mut(i * batch + b);
                 for (dkv, &qv) in dkrow.iter_mut().zip(qrow) {
                     *dkv += ds * qv;
                 }
@@ -169,17 +213,45 @@ impl ExogenousAttention {
         }
 
         // Kernel and input gradients.
-        self.wq.grad.add_assign(&cache.xt.t_matmul(&dq));
-        let d_xt = dq.matmul_t(&self.wq.value);
+        let mut tmp = self.pool.grab(0, 0);
+        cache.xt.t_matmul_into(&dq, &mut tmp);
+        self.wq.grad.add_assign(&tmp);
+        let mut d_xt = self.pool.grab(0, 0);
+        dq.matmul_t_into(&self.wq.value, &mut d_xt);
 
+        // d xn[i] = dK_i·W_Kᵀ + dV_i·W_Vᵀ — both products run over the
+        // stacked gradients in one matmul each (row-independent, hence
+        // bit-identical to the per-item products) and are then split back
+        // into per-item matrices.
+        let mut dxn_k_all = self.pool.grab(0, 0);
+        dk_all.matmul_t_into(&self.wk.value, &mut dxn_k_all);
+        let mut dxn_v_all = self.pool.grab(0, 0);
+        dv_all.matmul_t_into(&self.wv.value, &mut dxn_v_all);
+
+        // The kernel gradients are reductions over news items; they stay
+        // serial in index order, each item's contribution computed on a
+        // per-item view copied out of the stacked cache.
+        let mut xn_i = self.pool.grab(0, 0);
+        let mut g_i = self.pool.grab(0, 0);
         let mut d_xn = Vec::with_capacity(k);
         for i in 0..k {
-            self.wk.grad.add_assign(&cache.xn[i].t_matmul(&d_keys[i]));
-            self.wv.grad.add_assign(&cache.xn[i].t_matmul(&d_values[i]));
-            let dn = d_keys[i]
-                .matmul_t(&self.wk.value)
-                .add(&d_values[i].matmul_t(&self.wv.value));
+            xn_i.copy_row_range_from(&cache.xn_all, i * batch, batch);
+            g_i.copy_row_range_from(&dk_all, i * batch, batch);
+            xn_i.t_matmul_into(&g_i, &mut tmp);
+            self.wk.grad.add_assign(&tmp);
+            g_i.copy_row_range_from(&dv_all, i * batch, batch);
+            xn_i.t_matmul_into(&g_i, &mut tmp);
+            self.wv.grad.add_assign(&tmp);
+            let mut dn = self.pool.grab(0, 0);
+            dn.copy_row_range_from(&dxn_k_all, i * batch, batch);
+            dn.add_assign_rows(&dxn_v_all, i * batch);
             d_xn.push(dn);
+        }
+
+        for m in [
+            d_attn, d_logits, dq, tmp, dv_all, dk_all, dxn_k_all, dxn_v_all, xn_i, g_i,
+        ] {
+            self.pool.recycle(m);
         }
 
         (d_xt, d_xn)

@@ -1,7 +1,7 @@
 //! Fully-connected layer `y = x·W + b`.
 
 use crate::param::Param;
-use crate::tensor::Matrix;
+use crate::tensor::{Matrix, MatrixPool};
 
 /// A dense (feed-forward) layer.
 #[derive(Debug, Clone)]
@@ -12,6 +12,8 @@ pub struct Dense {
     pub b: Param,
     /// Cached input for backward.
     cache_x: Option<Matrix>,
+    /// Scratch buffers reused across forward/backward calls.
+    pool: MatrixPool,
 }
 
 impl Dense {
@@ -21,6 +23,7 @@ impl Dense {
             w: Param::xavier(in_dim, out_dim, seed),
             b: Param::zeros(1, out_dim),
             cache_x: None,
+            pool: MatrixPool::new(),
         }
     }
 
@@ -37,30 +40,47 @@ impl Dense {
     /// Forward pass, caching the input.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
         crate::sanitize::check_shape("dense", "forward", x.cols(), self.in_dim());
-        let out = x.matmul(&self.w.value).add_row_broadcast(&self.b.value);
+        let mut out = x.matmul(&self.w.value);
+        out.add_row_broadcast_assign(&self.b.value);
         crate::sanitize::check_finite("dense", "forward", &out);
-        self.cache_x = Some(x.clone());
+        // Reuse the previous cache allocation instead of cloning afresh.
+        let mut cx = match self.cache_x.take() {
+            Some(m) => m,
+            None => self.pool.grab(0, 0),
+        };
+        cx.copy_from(x);
+        self.cache_x = Some(cx);
         out
     }
 
     /// Forward without caching (inference).
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
         crate::sanitize::check_shape("dense", "forward_inference", x.cols(), self.in_dim());
-        let out = x.matmul(&self.w.value).add_row_broadcast(&self.b.value);
+        let mut out = x.matmul(&self.w.value);
+        out.add_row_broadcast_assign(&self.b.value);
         crate::sanitize::check_finite("dense", "forward_inference", &out);
         out
     }
 
     /// Backward pass: accumulate dW, db; return dx.
+    ///
+    /// Gradients are computed into a pooled scratch buffer and then
+    /// `add_assign`ed — never fused into the accumulator — so the
+    /// floating-point grouping matches the allocating formulation
+    /// exactly.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut tmp = self.pool.grab(0, 0);
         let x = self
             .cache_x
             .as_ref()
             // lint: allow(unwrap) API contract: backward requires a prior forward
             .expect("backward called before forward");
         // dW = xᵀ · g ; db = Σ_rows g ; dx = g · Wᵀ
-        self.w.grad.add_assign(&x.t_matmul(grad_out));
-        self.b.grad.add_assign(&grad_out.sum_rows());
+        x.t_matmul_into(grad_out, &mut tmp);
+        self.w.grad.add_assign(&tmp);
+        grad_out.sum_rows_into(&mut tmp);
+        self.b.grad.add_assign(&tmp);
+        self.pool.recycle(tmp);
         grad_out.matmul_t(&self.w.value)
     }
 

@@ -16,7 +16,7 @@
 
 use crate::activation::stable_sigmoid;
 use crate::param::Param;
-use crate::tensor::Matrix;
+use crate::tensor::{Matrix, MatrixPool};
 
 /// A single-layer GRU.
 #[derive(Debug, Clone)]
@@ -33,6 +33,9 @@ pub struct Gru {
     in_dim: usize,
     hidden: usize,
     cache: Option<Cache>,
+    /// Scratch buffers reused across steps and calls; retired cache
+    /// matrices are recycled here at the start of each forward.
+    pool: MatrixPool,
 }
 
 #[derive(Debug, Clone)]
@@ -61,6 +64,7 @@ impl Gru {
             in_dim,
             hidden,
             cache: None,
+            pool: MatrixPool::new(),
         }
     }
 
@@ -75,46 +79,86 @@ impl Gru {
     }
 
     /// Forward over a sequence; returns hidden states `h_1..h_T`.
+    ///
+    /// Gate pre-activations are built with `*_into` kernels and in-place
+    /// elementwise ops on pooled scratch; the per-element arithmetic
+    /// order matches the allocating formulation exactly, so results are
+    /// bit-identical to it. Retired cache matrices from the previous
+    /// call are recycled, making steady-state training allocation-free
+    /// inside the step loop.
     pub fn forward(&mut self, xs: &[Matrix]) -> Vec<Matrix> {
         assert!(!xs.is_empty(), "GRU needs a non-empty sequence");
         crate::sanitize::check_shape("gru", "forward", xs[0].cols(), self.in_dim);
+        if let Some(old) = self.cache.take() {
+            for m in old
+                .xs
+                .into_iter()
+                .chain(old.hs)
+                .chain(old.zs)
+                .chain(old.rs)
+                .chain(old.h_hats)
+            {
+                self.pool.recycle(m);
+            }
+        }
         let batch = xs[0].rows();
-        let mut hs = vec![Matrix::zeros(batch, self.hidden)];
+        let mut hs = vec![self.pool.grab(batch, self.hidden)];
         let mut zs = Vec::with_capacity(xs.len());
         let mut rs = Vec::with_capacity(xs.len());
         let mut h_hats = Vec::with_capacity(xs.len());
+        let mut tmp = self.pool.grab(0, 0);
 
         for x in xs {
             // lint: allow(unwrap) hs is seeded with the initial state above
             let h_prev = hs.last().unwrap();
-            let z = x
-                .matmul(&self.wz.value)
-                .add(&h_prev.matmul(&self.uz.value))
-                .add_row_broadcast(&self.bz.value)
-                .map(stable_sigmoid);
-            let r = x
-                .matmul(&self.wr.value)
-                .add(&h_prev.matmul(&self.ur.value))
-                .add_row_broadcast(&self.br.value)
-                .map(stable_sigmoid);
-            let rh = r.hadamard(h_prev);
-            let h_hat = x
-                .matmul(&self.wh.value)
-                .add(&rh.matmul(&self.uh.value))
-                .add_row_broadcast(&self.bh.value)
-                .map(f64::tanh);
-            let h = h_prev
-                .zip(&z, |hp, zv| (1.0 - zv) * hp)
-                .add(&z.hadamard(&h_hat));
+            // z = σ(x·Wz + h·Uz + bz)
+            let mut z = self.pool.grab(0, 0);
+            x.matmul_into(&self.wz.value, &mut z);
+            h_prev.matmul_into(&self.uz.value, &mut tmp);
+            z.add_assign(&tmp);
+            z.add_row_broadcast_assign(&self.bz.value);
+            z.map_assign(stable_sigmoid);
+            // r = σ(x·Wr + h·Ur + br)
+            let mut r = self.pool.grab(0, 0);
+            x.matmul_into(&self.wr.value, &mut r);
+            h_prev.matmul_into(&self.ur.value, &mut tmp);
+            r.add_assign(&tmp);
+            r.add_row_broadcast_assign(&self.br.value);
+            r.map_assign(stable_sigmoid);
+            // ĥ = tanh(x·Wh + (r ⊙ h)·Uh + bh)
+            let mut rh = self.pool.grab(0, 0);
+            rh.copy_from(&r);
+            rh.hadamard_assign(h_prev);
+            let mut h_hat = self.pool.grab(0, 0);
+            x.matmul_into(&self.wh.value, &mut h_hat);
+            rh.matmul_into(&self.uh.value, &mut tmp);
+            h_hat.add_assign(&tmp);
+            h_hat.add_row_broadcast_assign(&self.bh.value);
+            h_hat.map_assign(f64::tanh);
+            self.pool.recycle(rh);
+            // h = (1−z) ⊙ h_prev + z ⊙ ĥ
+            let mut h = self.pool.grab(0, 0);
+            h.copy_from(h_prev);
+            h.zip_assign(&z, |hp, zv| (1.0 - zv) * hp);
+            tmp.copy_from(&z);
+            tmp.hadamard_assign(&h_hat);
+            h.add_assign(&tmp);
             crate::sanitize::check_finite("gru", "step", &h);
             zs.push(z);
             rs.push(r);
             h_hats.push(h_hat);
             hs.push(h);
         }
+        self.pool.recycle(tmp);
         let out = hs[1..].to_vec();
+        let mut xs_cache = Vec::with_capacity(xs.len());
+        for x in xs {
+            let mut cx = self.pool.grab(0, 0);
+            cx.copy_from(x);
+            xs_cache.push(cx);
+        }
         self.cache = Some(Cache {
-            xs: xs.to_vec(),
+            xs: xs_cache,
             hs,
             zs,
             rs,
@@ -125,57 +169,106 @@ impl Gru {
 
     /// BPTT backward: `grad_hs[t]` is the loss gradient on `h_{t+1}`.
     /// Returns gradients on the inputs.
+    ///
+    /// Every temporary comes from the scratch pool; parameter gradients
+    /// are computed into scratch and then `add_assign`ed (never fused),
+    /// preserving the exact floating-point grouping of the allocating
+    /// formulation.
     pub fn backward(&mut self, grad_hs: &[Matrix]) -> Vec<Matrix> {
         // lint: allow(unwrap) API contract: backward requires a prior forward
         let cache = self.cache.as_ref().expect("backward before forward");
         let t_len = cache.xs.len();
         assert_eq!(grad_hs.len(), t_len);
         let batch = cache.xs[0].rows();
-        let mut dxs = vec![Matrix::zeros(batch, self.in_dim); t_len];
-        let mut dh_next = Matrix::zeros(batch, self.hidden);
+        let mut dxs: Vec<Matrix> = (0..t_len).map(|_| Matrix::zeros(0, 0)).collect();
+        let mut dh_next = self.pool.grab(batch, self.hidden);
+        let mut tmp = self.pool.grab(0, 0);
 
         for t in (0..t_len).rev() {
-            let dh = grad_hs[t].add(&dh_next);
             let h_prev = &cache.hs[t];
             let z = &cache.zs[t];
             let r = &cache.rs[t];
             let h_hat = &cache.h_hats[t];
             let x = &cache.xs[t];
 
+            let mut dh = self.pool.grab(0, 0);
+            dh.copy_from(&grad_hs[t]);
+            dh.add_assign(&dh_next);
+
             // h = (1-z)⊙h_prev + z⊙ĥ
-            let dz = dh.hadamard(&h_hat.sub(h_prev));
-            let dh_hat = dh.hadamard(z);
-            let mut dh_prev = dh.zip(z, |g, zv| g * (1.0 - zv));
+            let mut dz = self.pool.grab(0, 0);
+            dz.copy_from(h_hat);
+            dz.sub_assign(h_prev);
+            dz.hadamard_assign(&dh);
+            let mut dh_hat_grad = self.pool.grab(0, 0);
+            dh_hat_grad.copy_from(&dh);
+            dh_hat_grad.hadamard_assign(z);
+            let mut dh_prev = self.pool.grab(0, 0);
+            dh_prev.copy_from(&dh);
+            dh_prev.zip_assign(z, |g, zv| g * (1.0 - zv));
 
             // ĥ = tanh(...)
-            let dh_hat_raw = dh_hat.zip(h_hat, |g, hv| g * (1.0 - hv * hv));
-            let rh = r.hadamard(h_prev);
-            self.wh.grad.add_assign(&x.t_matmul(&dh_hat_raw));
-            self.uh.grad.add_assign(&rh.t_matmul(&dh_hat_raw));
-            self.bh.grad.add_assign(&dh_hat_raw.sum_rows());
-            let drh = dh_hat_raw.matmul_t(&self.uh.value);
-            let dr = drh.hadamard(h_prev);
-            dh_prev.add_assign(&drh.hadamard(r));
+            let mut dh_hat_raw = self.pool.grab(0, 0);
+            dh_hat_raw.copy_from(&dh_hat_grad);
+            dh_hat_raw.zip_assign(h_hat, |g, hv| g * (1.0 - hv * hv));
+            let mut rh = self.pool.grab(0, 0);
+            rh.copy_from(r);
+            rh.hadamard_assign(h_prev);
+            x.t_matmul_into(&dh_hat_raw, &mut tmp);
+            self.wh.grad.add_assign(&tmp);
+            rh.t_matmul_into(&dh_hat_raw, &mut tmp);
+            self.uh.grad.add_assign(&tmp);
+            dh_hat_raw.sum_rows_into(&mut tmp);
+            self.bh.grad.add_assign(&tmp);
+            let mut drh = self.pool.grab(0, 0);
+            dh_hat_raw.matmul_t_into(&self.uh.value, &mut drh);
+            let mut dr = self.pool.grab(0, 0);
+            dr.copy_from(&drh);
+            dr.hadamard_assign(h_prev);
+            tmp.copy_from(&drh);
+            tmp.hadamard_assign(r);
+            dh_prev.add_assign(&tmp);
 
             // Gates.
-            let dz_raw = dz.zip(z, |g, zv| g * zv * (1.0 - zv));
-            let dr_raw = dr.zip(r, |g, rv| g * rv * (1.0 - rv));
-            self.wz.grad.add_assign(&x.t_matmul(&dz_raw));
-            self.uz.grad.add_assign(&h_prev.t_matmul(&dz_raw));
-            self.bz.grad.add_assign(&dz_raw.sum_rows());
-            self.wr.grad.add_assign(&x.t_matmul(&dr_raw));
-            self.ur.grad.add_assign(&h_prev.t_matmul(&dr_raw));
-            self.br.grad.add_assign(&dr_raw.sum_rows());
+            let mut dz_raw = self.pool.grab(0, 0);
+            dz_raw.copy_from(&dz);
+            dz_raw.zip_assign(z, |g, zv| g * zv * (1.0 - zv));
+            let mut dr_raw = self.pool.grab(0, 0);
+            dr_raw.copy_from(&dr);
+            dr_raw.zip_assign(r, |g, rv| g * rv * (1.0 - rv));
+            x.t_matmul_into(&dz_raw, &mut tmp);
+            self.wz.grad.add_assign(&tmp);
+            h_prev.t_matmul_into(&dz_raw, &mut tmp);
+            self.uz.grad.add_assign(&tmp);
+            dz_raw.sum_rows_into(&mut tmp);
+            self.bz.grad.add_assign(&tmp);
+            x.t_matmul_into(&dr_raw, &mut tmp);
+            self.wr.grad.add_assign(&tmp);
+            h_prev.t_matmul_into(&dr_raw, &mut tmp);
+            self.ur.grad.add_assign(&tmp);
+            dr_raw.sum_rows_into(&mut tmp);
+            self.br.grad.add_assign(&tmp);
 
-            dh_prev.add_assign(&dz_raw.matmul_t(&self.uz.value));
-            dh_prev.add_assign(&dr_raw.matmul_t(&self.ur.value));
+            dz_raw.matmul_t_into(&self.uz.value, &mut tmp);
+            dh_prev.add_assign(&tmp);
+            dr_raw.matmul_t_into(&self.ur.value, &mut tmp);
+            dh_prev.add_assign(&tmp);
 
-            dxs[t] = dz_raw
-                .matmul_t(&self.wz.value)
-                .add(&dr_raw.matmul_t(&self.wr.value))
-                .add(&dh_hat_raw.matmul_t(&self.wh.value));
-            dh_next = dh_prev;
+            let mut dx = self.pool.grab(0, 0);
+            dz_raw.matmul_t_into(&self.wz.value, &mut dx);
+            dr_raw.matmul_t_into(&self.wr.value, &mut tmp);
+            dx.add_assign(&tmp);
+            dh_hat_raw.matmul_t_into(&self.wh.value, &mut tmp);
+            dx.add_assign(&tmp);
+            dxs[t] = dx;
+
+            self.pool.recycle(std::mem::replace(&mut dh_next, dh_prev));
+            for m in [dh, dz, dh_hat_grad, dh_hat_raw, rh, drh, dr, dz_raw, dr_raw] {
+                self.pool.recycle(m);
+            }
         }
+        self.pool.recycle(dh_next);
+        self.pool.recycle(tmp);
         dxs
     }
 

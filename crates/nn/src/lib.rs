@@ -7,7 +7,10 @@
 //! this crate implements the required subset from scratch:
 //!
 //! * [`tensor`] — a dense row-major `Matrix` (batch × features) with the
-//!   usual operations.
+//!   usual operations, blocked matmul kernels, output-reuse `*_into`
+//!   variants and a scratch [`tensor::MatrixPool`].
+//! * [`par`] — deterministic work-splitting (thread count never changes
+//!   results); home of the `RETINA_THREADS` override.
 //! * [`param`] — trainable parameters carrying their gradients and Adam
 //!   moments.
 //! * [`dense`], [`activation`] — feed-forward layers.
@@ -36,6 +39,7 @@ pub mod gru;
 pub mod loss;
 pub mod lstm;
 pub mod optim;
+pub mod par;
 pub mod param;
 pub mod rnn;
 pub mod sanitize;
@@ -52,4 +56,4 @@ pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;
 pub use rnn::SimpleRnn;
 pub use sanitize::NumericError;
-pub use tensor::Matrix;
+pub use tensor::{Matrix, MatrixPool};

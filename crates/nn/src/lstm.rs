@@ -10,7 +10,7 @@
 
 use crate::activation::stable_sigmoid;
 use crate::param::Param;
-use crate::tensor::Matrix;
+use crate::tensor::{Matrix, MatrixPool};
 
 /// A single-layer LSTM.
 #[derive(Debug, Clone)]
@@ -30,6 +30,9 @@ pub struct Lstm {
     in_dim: usize,
     hidden: usize,
     cache: Option<Cache>,
+    /// Scratch buffers reused across steps and calls; retired cache
+    /// matrices are recycled here at the start of each forward.
+    pool: MatrixPool,
 }
 
 #[derive(Debug, Clone)]
@@ -66,6 +69,7 @@ impl Lstm {
             in_dim,
             hidden,
             cache: None,
+            pool: MatrixPool::new(),
         }
     }
 
@@ -74,30 +78,81 @@ impl Lstm {
         self.hidden
     }
 
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
     /// Forward over a sequence; returns `h_1..h_T`.
+    ///
+    /// Built on `*_into` kernels and pooled scratch with per-element
+    /// arithmetic order identical to the allocating formulation, so the
+    /// results are bit-identical to it; the step loop is allocation-free
+    /// in steady state.
     pub fn forward(&mut self, xs: &[Matrix]) -> Vec<Matrix> {
         assert!(!xs.is_empty(), "LSTM needs a non-empty sequence");
+        if let Some(old) = self.cache.take() {
+            for m in old
+                .xs
+                .into_iter()
+                .chain(old.hs)
+                .chain(old.cs)
+                .chain(old.is_)
+                .chain(old.fs)
+                .chain(old.os)
+                .chain(old.gs)
+            {
+                self.pool.recycle(m);
+            }
+        }
         let batch = xs[0].rows();
-        let mut hs = vec![Matrix::zeros(batch, self.hidden)];
-        let mut cs = vec![Matrix::zeros(batch, self.hidden)];
+        let mut hs = vec![self.pool.grab(batch, self.hidden)];
+        let mut cs = vec![self.pool.grab(batch, self.hidden)];
         let (mut is_, mut fs, mut os, mut gs) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let mut tmp = self.pool.grab(0, 0);
 
         for x in xs {
             // lint: allow(unwrap) hs is seeded with the initial state above
             let h_prev = hs.last().unwrap();
             // lint: allow(unwrap) cs is seeded with the initial state above
             let c_prev = cs.last().unwrap();
-            let gate = |w: &Param, u: &Param, b: &Param| {
-                x.matmul(&w.value)
-                    .add(&h_prev.matmul(&u.value))
-                    .add_row_broadcast(&b.value)
-            };
-            let i = gate(&self.wi, &self.ui, &self.bi).map(stable_sigmoid);
-            let f = gate(&self.wf, &self.uf, &self.bf).map(stable_sigmoid);
-            let o = gate(&self.wo, &self.uo, &self.bo).map(stable_sigmoid);
-            let g = gate(&self.wg, &self.ug, &self.bg).map(f64::tanh);
-            let c = f.hadamard(c_prev).add(&i.hadamard(&g));
-            let h = o.hadamard(&c.map(f64::tanh));
+            // gate = act(x·W + h·U + b), each on pooled scratch.
+            let mut i = self.pool.grab(0, 0);
+            x.matmul_into(&self.wi.value, &mut i);
+            h_prev.matmul_into(&self.ui.value, &mut tmp);
+            i.add_assign(&tmp);
+            i.add_row_broadcast_assign(&self.bi.value);
+            i.map_assign(stable_sigmoid);
+            let mut f = self.pool.grab(0, 0);
+            x.matmul_into(&self.wf.value, &mut f);
+            h_prev.matmul_into(&self.uf.value, &mut tmp);
+            f.add_assign(&tmp);
+            f.add_row_broadcast_assign(&self.bf.value);
+            f.map_assign(stable_sigmoid);
+            let mut o = self.pool.grab(0, 0);
+            x.matmul_into(&self.wo.value, &mut o);
+            h_prev.matmul_into(&self.uo.value, &mut tmp);
+            o.add_assign(&tmp);
+            o.add_row_broadcast_assign(&self.bo.value);
+            o.map_assign(stable_sigmoid);
+            let mut g = self.pool.grab(0, 0);
+            x.matmul_into(&self.wg.value, &mut g);
+            h_prev.matmul_into(&self.ug.value, &mut tmp);
+            g.add_assign(&tmp);
+            g.add_row_broadcast_assign(&self.bg.value);
+            g.map_assign(f64::tanh);
+            // c = f ⊙ c_prev + i ⊙ g
+            let mut c = self.pool.grab(0, 0);
+            c.copy_from(&f);
+            c.hadamard_assign(c_prev);
+            tmp.copy_from(&i);
+            tmp.hadamard_assign(&g);
+            c.add_assign(&tmp);
+            // h = o ⊙ tanh(c)
+            let mut h = self.pool.grab(0, 0);
+            h.copy_from(&c);
+            h.map_assign(f64::tanh);
+            h.hadamard_assign(&o);
             is_.push(i);
             fs.push(f);
             os.push(o);
@@ -105,9 +160,16 @@ impl Lstm {
             cs.push(c);
             hs.push(h);
         }
+        self.pool.recycle(tmp);
         let out = hs[1..].to_vec();
+        let mut xs_cache = Vec::with_capacity(xs.len());
+        for x in xs {
+            let mut cx = self.pool.grab(0, 0);
+            cx.copy_from(x);
+            xs_cache.push(cx);
+        }
         self.cache = Some(Cache {
-            xs: xs.to_vec(),
+            xs: xs_cache,
             hs,
             cs,
             is_,
@@ -119,60 +181,105 @@ impl Lstm {
     }
 
     /// Full BPTT backward. Returns input gradients.
+    ///
+    /// Temporaries come from the scratch pool; parameter gradients are
+    /// computed into scratch then `add_assign`ed (never fused), keeping
+    /// the floating-point grouping of the allocating formulation.
     pub fn backward(&mut self, grad_hs: &[Matrix]) -> Vec<Matrix> {
         // lint: allow(unwrap) API contract: backward requires a prior forward
         let cache = self.cache.as_ref().expect("backward before forward");
         let t_len = cache.xs.len();
         assert_eq!(grad_hs.len(), t_len);
         let batch = cache.xs[0].rows();
-        let mut dxs = vec![Matrix::zeros(batch, self.in_dim); t_len];
-        let mut dh_next = Matrix::zeros(batch, self.hidden);
-        let mut dc_next = Matrix::zeros(batch, self.hidden);
+        let mut dxs: Vec<Matrix> = (0..t_len).map(|_| Matrix::zeros(0, 0)).collect();
+        let mut dh_next = self.pool.grab(batch, self.hidden);
+        let mut dc_next = self.pool.grab(batch, self.hidden);
+        let mut tmp = self.pool.grab(0, 0);
 
         for t in (0..t_len).rev() {
-            let dh = grad_hs[t].add(&dh_next);
             let c = &cache.cs[t + 1];
             let c_prev = &cache.cs[t];
             let h_prev = &cache.hs[t];
             let x = &cache.xs[t];
             let (i, f, o, g) = (&cache.is_[t], &cache.fs[t], &cache.os[t], &cache.gs[t]);
 
-            let tanh_c = c.map(f64::tanh);
-            let do_ = dh.hadamard(&tanh_c);
-            let mut dc = dh.hadamard(o).zip(&tanh_c, |v, tc| v * (1.0 - tc * tc));
+            let mut dh = self.pool.grab(0, 0);
+            dh.copy_from(&grad_hs[t]);
+            dh.add_assign(&dh_next);
+
+            let mut tanh_c = self.pool.grab(0, 0);
+            tanh_c.copy_from(c);
+            tanh_c.map_assign(f64::tanh);
+            let mut do_ = self.pool.grab(0, 0);
+            do_.copy_from(&dh);
+            do_.hadamard_assign(&tanh_c);
+            let mut dc = self.pool.grab(0, 0);
+            dc.copy_from(&dh);
+            dc.hadamard_assign(o);
+            dc.zip_assign(&tanh_c, |v, tc| v * (1.0 - tc * tc));
             dc.add_assign(&dc_next);
 
-            let di = dc.hadamard(g);
-            let dg = dc.hadamard(i);
-            let df = dc.hadamard(c_prev);
-            dc_next = dc.hadamard(f);
+            let mut di = self.pool.grab(0, 0);
+            di.copy_from(&dc);
+            di.hadamard_assign(g);
+            let mut dg = self.pool.grab(0, 0);
+            dg.copy_from(&dc);
+            dg.hadamard_assign(i);
+            let mut df = self.pool.grab(0, 0);
+            df.copy_from(&dc);
+            df.hadamard_assign(c_prev);
+            dc_next.copy_from(&dc);
+            dc_next.hadamard_assign(f);
 
-            let di_raw = di.zip(i, |v, s| v * s * (1.0 - s));
-            let df_raw = df.zip(f, |v, s| v * s * (1.0 - s));
-            let do_raw = do_.zip(o, |v, s| v * s * (1.0 - s));
-            let dg_raw = dg.zip(g, |v, s| v * (1.0 - s * s));
+            // In-place σ'/tanh' turns each gate gradient into its
+            // pre-activation gradient (same elementwise expression as
+            // the allocating `zip`).
+            di.zip_assign(i, |v, s| v * s * (1.0 - s));
+            df.zip_assign(f, |v, s| v * s * (1.0 - s));
+            do_.zip_assign(o, |v, s| v * s * (1.0 - s));
+            dg.zip_assign(g, |v, s| v * (1.0 - s * s));
 
-            let acc = |w: &mut Param, u: &mut Param, b: &mut Param, raw: &Matrix| {
-                w.grad.add_assign(&x.t_matmul(raw));
-                u.grad.add_assign(&h_prev.t_matmul(raw));
-                b.grad.add_assign(&raw.sum_rows());
+            let acc = |w: &mut Param,
+                       u: &mut Param,
+                       b: &mut Param,
+                       raw: &Matrix,
+                       scratch: &mut Matrix| {
+                x.t_matmul_into(raw, scratch);
+                w.grad.add_assign(scratch);
+                h_prev.t_matmul_into(raw, scratch);
+                u.grad.add_assign(scratch);
+                raw.sum_rows_into(scratch);
+                b.grad.add_assign(scratch);
             };
-            acc(&mut self.wi, &mut self.ui, &mut self.bi, &di_raw);
-            acc(&mut self.wf, &mut self.uf, &mut self.bf, &df_raw);
-            acc(&mut self.wo, &mut self.uo, &mut self.bo, &do_raw);
-            acc(&mut self.wg, &mut self.ug, &mut self.bg, &dg_raw);
+            acc(&mut self.wi, &mut self.ui, &mut self.bi, &di, &mut tmp);
+            acc(&mut self.wf, &mut self.uf, &mut self.bf, &df, &mut tmp);
+            acc(&mut self.wo, &mut self.uo, &mut self.bo, &do_, &mut tmp);
+            acc(&mut self.wg, &mut self.ug, &mut self.bg, &dg, &mut tmp);
 
-            dh_next = di_raw
-                .matmul_t(&self.ui.value)
-                .add(&df_raw.matmul_t(&self.uf.value))
-                .add(&do_raw.matmul_t(&self.uo.value))
-                .add(&dg_raw.matmul_t(&self.ug.value));
+            di.matmul_t_into(&self.ui.value, &mut dh_next);
+            df.matmul_t_into(&self.uf.value, &mut tmp);
+            dh_next.add_assign(&tmp);
+            do_.matmul_t_into(&self.uo.value, &mut tmp);
+            dh_next.add_assign(&tmp);
+            dg.matmul_t_into(&self.ug.value, &mut tmp);
+            dh_next.add_assign(&tmp);
 
-            dxs[t] = di_raw
-                .matmul_t(&self.wi.value)
-                .add(&df_raw.matmul_t(&self.wf.value))
-                .add(&do_raw.matmul_t(&self.wo.value))
-                .add(&dg_raw.matmul_t(&self.wg.value));
+            let mut dx = self.pool.grab(0, 0);
+            di.matmul_t_into(&self.wi.value, &mut dx);
+            df.matmul_t_into(&self.wf.value, &mut tmp);
+            dx.add_assign(&tmp);
+            do_.matmul_t_into(&self.wo.value, &mut tmp);
+            dx.add_assign(&tmp);
+            dg.matmul_t_into(&self.wg.value, &mut tmp);
+            dx.add_assign(&tmp);
+            dxs[t] = dx;
+
+            for m in [dh, tanh_c, do_, dc, di, dg, df] {
+                self.pool.recycle(m);
+            }
+        }
+        for m in [dh_next, dc_next, tmp] {
+            self.pool.recycle(m);
         }
         dxs
     }

@@ -4,7 +4,7 @@
 //! `h_t = tanh(x_t·W + h_{t−1}·U + b)`
 
 use crate::param::Param;
-use crate::tensor::Matrix;
+use crate::tensor::{Matrix, MatrixPool};
 
 /// A single-layer tanh RNN.
 #[derive(Debug, Clone)]
@@ -15,6 +15,8 @@ pub struct SimpleRnn {
     in_dim: usize,
     hidden: usize,
     cache: Option<Cache>,
+    /// Scratch buffers reused across steps and calls.
+    pool: MatrixPool,
 }
 
 #[derive(Debug, Clone)]
@@ -33,6 +35,7 @@ impl SimpleRnn {
             in_dim,
             hidden,
             cache: None,
+            pool: MatrixPool::new(),
         }
     }
 
@@ -41,51 +44,85 @@ impl SimpleRnn {
         self.hidden
     }
 
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
     /// Forward over a sequence; returns `h_1..h_T`.
+    ///
+    /// Built on `*_into` kernels and pooled scratch; the per-element
+    /// arithmetic order matches the allocating formulation exactly.
     pub fn forward(&mut self, xs: &[Matrix]) -> Vec<Matrix> {
         assert!(!xs.is_empty(), "RNN needs a non-empty sequence");
+        if let Some(old) = self.cache.take() {
+            for m in old.xs.into_iter().chain(old.hs) {
+                self.pool.recycle(m);
+            }
+        }
         let batch = xs[0].rows();
-        let mut hs = vec![Matrix::zeros(batch, self.hidden)];
+        let mut hs = vec![self.pool.grab(batch, self.hidden)];
+        let mut tmp = self.pool.grab(0, 0);
         for x in xs {
             // lint: allow(unwrap) hs is seeded with the initial state above
             let h_prev = hs.last().unwrap();
-            let h = x
-                .matmul(&self.w.value)
-                .add(&h_prev.matmul(&self.u.value))
-                .add_row_broadcast(&self.b.value)
-                .map(f64::tanh);
+            let mut h = self.pool.grab(0, 0);
+            x.matmul_into(&self.w.value, &mut h);
+            h_prev.matmul_into(&self.u.value, &mut tmp);
+            h.add_assign(&tmp);
+            h.add_row_broadcast_assign(&self.b.value);
+            h.map_assign(f64::tanh);
             hs.push(h);
         }
+        self.pool.recycle(tmp);
         let out = hs[1..].to_vec();
-        self.cache = Some(Cache {
-            xs: xs.to_vec(),
-            hs,
-        });
+        let mut xs_cache = Vec::with_capacity(xs.len());
+        for x in xs {
+            let mut cx = self.pool.grab(0, 0);
+            cx.copy_from(x);
+            xs_cache.push(cx);
+        }
+        self.cache = Some(Cache { xs: xs_cache, hs });
         out
     }
 
     /// Full BPTT backward. Returns input gradients.
+    ///
+    /// Parameter gradients are computed into pooled scratch then
+    /// `add_assign`ed, preserving the allocating formulation's
+    /// floating-point grouping.
     pub fn backward(&mut self, grad_hs: &[Matrix]) -> Vec<Matrix> {
         // lint: allow(unwrap) API contract: backward requires a prior forward
         let cache = self.cache.as_ref().expect("backward before forward");
         let t_len = cache.xs.len();
         assert_eq!(grad_hs.len(), t_len);
         let batch = cache.xs[0].rows();
-        let mut dxs = vec![Matrix::zeros(batch, self.in_dim); t_len];
-        let mut dh_next = Matrix::zeros(batch, self.hidden);
+        let mut dxs: Vec<Matrix> = (0..t_len).map(|_| Matrix::zeros(0, 0)).collect();
+        let mut dh_next = self.pool.grab(batch, self.hidden);
+        let mut tmp = self.pool.grab(0, 0);
 
         for t in (0..t_len).rev() {
-            let dh = grad_hs[t].add(&dh_next);
             let h = &cache.hs[t + 1];
             let h_prev = &cache.hs[t];
             let x = &cache.xs[t];
-            let dr = dh.zip(h, |g, hv| g * (1.0 - hv * hv));
-            self.w.grad.add_assign(&x.t_matmul(&dr));
-            self.u.grad.add_assign(&h_prev.t_matmul(&dr));
-            self.b.grad.add_assign(&dr.sum_rows());
-            dh_next = dr.matmul_t(&self.u.value);
-            dxs[t] = dr.matmul_t(&self.w.value);
+            let mut dr = self.pool.grab(0, 0);
+            dr.copy_from(&grad_hs[t]);
+            dr.add_assign(&dh_next);
+            dr.zip_assign(h, |g, hv| g * (1.0 - hv * hv));
+            x.t_matmul_into(&dr, &mut tmp);
+            self.w.grad.add_assign(&tmp);
+            h_prev.t_matmul_into(&dr, &mut tmp);
+            self.u.grad.add_assign(&tmp);
+            dr.sum_rows_into(&mut tmp);
+            self.b.grad.add_assign(&tmp);
+            dr.matmul_t_into(&self.u.value, &mut dh_next);
+            let mut dx = self.pool.grab(0, 0);
+            dr.matmul_t_into(&self.w.value, &mut dx);
+            dxs[t] = dx;
+            self.pool.recycle(dr);
         }
+        self.pool.recycle(dh_next);
+        self.pool.recycle(tmp);
         dxs
     }
 

@@ -1,8 +1,35 @@
 //! Dense row-major matrices (`batch × features`) — the only tensor shape
 //! the RETINA models need; sequences are `Vec<Matrix>`.
+//!
+//! ## Kernels
+//!
+//! The three matrix products (`matmul`, `t_matmul`, `matmul_t`) run on
+//! register-blocked kernels that unroll the reduction dimension by
+//! [`KERNEL_BLOCK`] while keeping the *per-output-element accumulation
+//! order* exactly that of the naive triple loop: within a block the
+//! partial products are added to the accumulator one at a time, in index
+//! order, so `f64` rounding is unchanged (Rust never reassociates float
+//! arithmetic). Large products are additionally row-partitioned across
+//! worker threads via [`crate::par`]; output rows are disjoint, so the
+//! thread count cannot change any value — serial and parallel runs are
+//! bit-identical. See DESIGN.md "Compute kernels".
+//!
+//! Every product has an `*_into` variant that reuses the caller's output
+//! buffer; [`MatrixPool`] provides a free-list of such buffers so layer
+//! forward/backward passes allocate nothing in steady state.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Reduction-dimension unroll factor of the blocked kernels. Parity
+/// tests exercise shapes straddling this value.
+pub const KERNEL_BLOCK: usize = 8;
+
+/// Reduction-dimension tile length of the `matmul` kernel: the active
+/// `b` panel (`K_TILE × b.cols` values) is reused across every output
+/// row before the next tile is touched. A multiple of [`KERNEL_BLOCK`]
+/// so only the final tile takes the scalar remainder path.
+const K_TILE: usize = 32;
 
 /// A dense row-major `rows × cols` matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,11 +119,13 @@ impl Matrix {
     }
 
     /// A row as a slice.
+    #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// A row as a mutable slice.
+    #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
@@ -111,73 +140,144 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Reshape to `rows × cols`, zero-filled, keeping the allocation.
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshape without zeroing — every element is about to be overwritten
+    /// by a kernel, so stale contents are fine. Private on purpose.
+    fn reshape_for_write(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Become a copy of `other`, reusing the allocation.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Become a copy of `nrows` rows of `src` starting at row `r0`.
+    pub fn copy_row_range_from(&mut self, src: &Matrix, r0: usize, nrows: usize) {
+        assert!(r0 + nrows <= src.rows, "row range out of bounds");
+        self.rows = nrows;
+        self.cols = src.cols;
+        self.data.clear();
+        for r in r0..r0 + nrows {
+            self.data.extend_from_slice(src.row(r));
+        }
+    }
+
+    /// In-place `self[r] += src[r0 + r]` for every row of `self` — add a
+    /// row range of a taller matrix with the same column count.
+    pub fn add_assign_rows(&mut self, src: &Matrix, r0: usize) {
+        assert_eq!(self.cols, src.cols, "add_assign_rows column mismatch");
+        assert!(r0 + self.rows <= src.rows, "row range out of bounds");
+        for r in 0..self.rows {
+            for (a, &b) in self.row_mut(r).iter_mut().zip(src.row(r0 + r)) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Stack same-width matrices vertically into `out` (rows in item
+    /// order), reusing `out`'s allocation.
+    pub fn vstack_into(items: &[Matrix], out: &mut Matrix) {
+        assert!(!items.is_empty(), "vstack needs at least one matrix");
+        let cols = items[0].cols;
+        assert!(
+            items.iter().all(|m| m.cols == cols),
+            "vstack width mismatch"
+        );
+        out.rows = items.iter().map(|m| m.rows).sum();
+        out.cols = cols;
+        out.data.clear();
+        for m in items {
+            out.data.extend_from_slice(&m.data);
+        }
+    }
+
     /// Matrix product `self (r×k) · other (k×c) -> (r×c)`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] into a caller-owned buffer (resized as needed).
+    /// `out` must not alias `self` or `other`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(r, k);
-                // lint: allow(float-cmp) sparsity fast path skips exact zeros only
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let out_row = out.row_mut(r);
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        out.reshape_for_write(self.rows, other.cols);
+        let workers = par_workers(self.rows, self.rows * self.cols * other.cols);
+        crate::par::for_each_row_chunk(&mut out.data, other.cols, workers, |first_row, chunk| {
+            mm_rows(self, other, first_row, chunk);
+        });
     }
 
     /// `selfᵀ · other` without materializing the transpose.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let arow = self.row(r);
-            let brow = other.row(r);
-            for (i, &a) in arow.iter().enumerate() {
-                // lint: allow(float-cmp) sparsity fast path skips exact zeros only
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = out.row_mut(i);
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        self.t_matmul_into(other, &mut out);
         out
+    }
+
+    /// [`Matrix::t_matmul`] into a caller-owned buffer (resized as
+    /// needed). `out` must not alias `self` or `other`.
+    pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        out.reshape_for_write(self.cols, other.cols);
+        let workers = par_workers(self.cols, self.rows * self.cols * other.cols);
+        crate::par::for_each_row_chunk(&mut out.data, other.cols, workers, |first_row, chunk| {
+            tmm_rows(self, other, first_row, chunk);
+        });
     }
 
     /// `self · otherᵀ` without materializing the transpose.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for r in 0..self.rows {
-            let arow = self.row(r);
-            for rr in 0..other.rows {
-                let brow = other.row(rr);
-                let mut s = 0.0;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    s += a * b;
-                }
-                out.set(r, rr, s);
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_t_into(other, &mut out);
         out
     }
 
-    /// Transpose.
+    /// [`Matrix::matmul_t`] into a caller-owned buffer (resized as
+    /// needed). `out` must not alias `self` or `other`.
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        out.reshape_for_write(self.rows, other.rows);
+        let workers = par_workers(self.rows, self.rows * self.cols * other.rows);
+        crate::par::for_each_row_chunk(&mut out.data, other.rows, workers, |first_row, chunk| {
+            mmt_rows(self, other, first_row, chunk);
+        });
+    }
+
+    /// Transpose. A transpose has no contiguous runs to `memcpy`, so the
+    /// next best thing: scatter each source row down one output column
+    /// with an incrementally stepped index, skipping the per-element
+    /// bounds assert and offset multiply of [`Matrix::set`].
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        let rows = self.rows;
+        let od = out.data_mut();
+        for r in 0..rows {
+            let mut idx = r;
+            for &v in self.row(r) {
+                od[idx] = v;
+                idx += rows;
+            }
+        }
+        out
     }
 
     /// Elementwise map.
@@ -186,6 +286,13 @@ impl Matrix {
             rows: self.rows,
             cols: self.cols,
             data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise map in place.
+    pub fn map_assign(&mut self, f: impl Fn(f64) -> f64) {
+        for v in self.data.iter_mut() {
+            *v = f(*v);
         }
     }
 
@@ -201,6 +308,14 @@ impl Matrix {
                 .zip(&other.data)
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
+        }
+    }
+
+    /// Elementwise combine in place: `self[i] = f(self[i], other[i])`.
+    pub fn zip_assign(&mut self, other: &Matrix, f: impl Fn(f64, f64) -> f64) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = f(*a, b);
         }
     }
 
@@ -227,58 +342,115 @@ impl Matrix {
         }
     }
 
+    /// In-place `self -= other`.
+    pub fn sub_assign(&mut self, other: &Matrix) {
+        self.zip_assign(other, |a, b| a - b);
+    }
+
+    /// In-place Hadamard product.
+    pub fn hadamard_assign(&mut self, other: &Matrix) {
+        self.zip_assign(other, |a, b| a * b);
+    }
+
     /// Scale all entries.
     pub fn scaled(&self, s: f64) -> Matrix {
         self.map(|v| v * s)
     }
 
+    /// Scale all entries in place.
+    pub fn scale_assign(&mut self, s: f64) {
+        self.map_assign(|v| v * s);
+    }
+
     /// Add a row-vector (1×cols broadcast) to every row.
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_row_broadcast_assign(bias);
+        out
+    }
+
+    /// In-place row-vector broadcast add.
+    pub fn add_row_broadcast_assign(&mut self, bias: &Matrix) {
         assert_eq!(bias.rows, 1);
         assert_eq!(bias.cols, self.cols);
-        Matrix::from_fn(self.rows, self.cols, |r, c| self.get(r, c) + bias.get(0, c))
+        for r in 0..self.rows {
+            for (v, &b) in self.row_mut(r).iter_mut().zip(&bias.data) {
+                *v += b;
+            }
+        }
     }
 
     /// Sum over rows -> 1×cols (gradient of a broadcast bias).
+    /// Accumulates rows in ascending order — a reduction, so it stays
+    /// serial (see the determinism contract in [`crate::par`]).
     pub fn sum_rows(&self) -> Matrix {
-        let mut out = Matrix::zeros(1, self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::sum_rows`] into a caller-owned buffer.
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        out.resize_to(1, self.cols);
         for r in 0..self.rows {
-            let row = self.row(r);
-            let orow = out.row_mut(0);
-            for (o, &v) in orow.iter_mut().zip(row) {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Concatenate columns: `[self | other]`.
     pub fn concat_cols(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows);
-        Matrix::from_fn(self.rows, self.cols + other.cols, |r, c| {
-            if c < self.cols {
-                self.get(r, c)
-            } else {
-                other.get(r, c - self.cols)
-            }
-        })
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        }
     }
 
     /// Split columns back: inverse of [`Matrix::concat_cols`].
     pub fn split_cols(&self, left_cols: usize) -> (Matrix, Matrix) {
         assert!(left_cols <= self.cols);
-        let l = Matrix::from_fn(self.rows, left_cols, |r, c| self.get(r, c));
-        let r = Matrix::from_fn(self.rows, self.cols - left_cols, |r_, c| {
-            self.get(r_, left_cols + c)
-        });
-        (l, r)
+        let right_cols = self.cols - left_cols;
+        let mut ldata = Vec::with_capacity(self.rows * left_cols);
+        let mut rdata = Vec::with_capacity(self.rows * right_cols);
+        for r in 0..self.rows {
+            let (l, rt) = self.row(r).split_at(left_cols);
+            ldata.extend_from_slice(l);
+            rdata.extend_from_slice(rt);
+        }
+        (
+            Matrix {
+                rows: self.rows,
+                cols: left_cols,
+                data: ldata,
+            },
+            Matrix {
+                rows: self.rows,
+                cols: right_cols,
+                data: rdata,
+            },
+        )
     }
 
     /// Row-wise softmax (each row sums to 1).
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
+        out.softmax_rows_assign();
+        out
+    }
+
+    /// In-place row-wise softmax.
+    pub fn softmax_rows_assign(&mut self) {
         for r in 0..self.rows {
-            let row = out.row_mut(r);
+            let row = self.row_mut(r);
             let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let mut sum = 0.0;
             for v in row.iter_mut() {
@@ -289,7 +461,6 @@ impl Matrix {
                 *v /= sum;
             }
         }
-        out
     }
 
     /// Sum of all entries.
@@ -305,6 +476,274 @@ impl Matrix {
     /// Fill with zeros (reuse allocation).
     pub fn fill_zero(&mut self) {
         self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+/// Worker count for a product with `out_rows` output rows and `flops`
+/// multiply-adds: serial below [`crate::par::MIN_PAR_FLOPS`] (thread
+/// spawn would dominate), else the resolved thread knob. The partition
+/// never changes results — only wall-clock (see [`crate::par`]).
+fn par_workers(out_rows: usize, flops: usize) -> usize {
+    if out_rows < 2 || flops < crate::par::MIN_PAR_FLOPS {
+        1
+    } else {
+        crate::par::threads()
+    }
+}
+
+/// `matmul` kernel for output rows `[first_row, first_row + n)` where
+/// `n = out_chunk.len() / b.cols`.
+///
+/// Per output element the reduction runs over `k` ascending, with the
+/// [`KERNEL_BLOCK`]-unrolled partial products added sequentially — the
+/// exact accumulation order of the naive loop, so results are
+/// bit-identical. The block-level sparsity skip only drops `a == 0`
+/// terms, and adding `±0.0 · b` to an accumulator that started at `+0.0`
+/// can never change its bits (for finite `b`), so the skip is
+/// value-preserving too.
+fn mm_rows(a: &Matrix, b: &Matrix, first_row: usize, out_chunk: &mut [f64]) {
+    let cols = b.cols;
+    let kk = a.cols;
+    if cols == 0 {
+        return;
+    }
+    let n_rows = out_chunk.len() / cols;
+    out_chunk.fill(0.0);
+    // Tile the reduction dimension so the active `b` panel stays
+    // cache-resident while it is reused across every output row. Tiles
+    // are visited in ascending `k` order and each output element keeps a
+    // running sum in `out`, so the per-element accumulation order is
+    // still exactly `k` ascending.
+    let mut k0 = 0;
+    while k0 < kk {
+        let k_end = (k0 + K_TILE).min(kk);
+        for ri in 0..n_rows {
+            let arow = a.row(first_row + ri);
+            let out_row = &mut out_chunk[ri * cols..(ri + 1) * cols];
+            let mut k = k0;
+            while k + KERNEL_BLOCK <= k_end {
+                let (v0, v1, v2, v3) = (arow[k], arow[k + 1], arow[k + 2], arow[k + 3]);
+                let (v4, v5, v6, v7) = (arow[k + 4], arow[k + 5], arow[k + 6], arow[k + 7]);
+                // lint: allow(float-cmp) sparsity fast path skips exact zeros only
+                let live_lo = v0 != 0.0 || v1 != 0.0 || v2 != 0.0 || v3 != 0.0;
+                // lint: allow(float-cmp) sparsity fast path skips exact zeros only
+                let live_hi = v4 != 0.0 || v5 != 0.0 || v6 != 0.0 || v7 != 0.0;
+                if live_lo || live_hi {
+                    let (b0, b1, b2, b3) = (b.row(k), b.row(k + 1), b.row(k + 2), b.row(k + 3));
+                    let (b4, b5, b6, b7) = (b.row(k + 4), b.row(k + 5), b.row(k + 6), b.row(k + 7));
+                    for ((((((((o, &w0), &w1), &w2), &w3), &w4), &w5), &w6), &w7) in out_row
+                        .iter_mut()
+                        .zip(b0)
+                        .zip(b1)
+                        .zip(b2)
+                        .zip(b3)
+                        .zip(b4)
+                        .zip(b5)
+                        .zip(b6)
+                        .zip(b7)
+                    {
+                        let mut acc = *o;
+                        acc += v0 * w0;
+                        acc += v1 * w1;
+                        acc += v2 * w2;
+                        acc += v3 * w3;
+                        acc += v4 * w4;
+                        acc += v5 * w5;
+                        acc += v6 * w6;
+                        acc += v7 * w7;
+                        *o = acc;
+                    }
+                }
+                k += KERNEL_BLOCK;
+            }
+            while k < k_end {
+                let v = arow[k];
+                // lint: allow(float-cmp) sparsity fast path skips exact zeros only
+                if v != 0.0 {
+                    for (o, &w) in out_row.iter_mut().zip(b.row(k)) {
+                        *o += v * w;
+                    }
+                }
+                k += 1;
+            }
+        }
+        k0 = k_end;
+    }
+}
+
+/// `t_matmul` kernel for output rows `[first_row, first_row + n)` —
+/// output row `i` is `Σ_r a[r, first_row + i] · b[r, :]` with `r`
+/// ascending, matching the naive loop's accumulation order exactly
+/// (the unrolled block adds its four terms sequentially).
+fn tmm_rows(a: &Matrix, b: &Matrix, first_row: usize, out_chunk: &mut [f64]) {
+    let cols = b.cols;
+    if cols == 0 {
+        return;
+    }
+    let n_out = out_chunk.len() / cols;
+    out_chunk.fill(0.0);
+    let mut r = 0;
+    while r + KERNEL_BLOCK <= a.rows {
+        let a0 = &a.row(r)[first_row..first_row + n_out];
+        let a1 = &a.row(r + 1)[first_row..first_row + n_out];
+        let a2 = &a.row(r + 2)[first_row..first_row + n_out];
+        let a3 = &a.row(r + 3)[first_row..first_row + n_out];
+        let a4 = &a.row(r + 4)[first_row..first_row + n_out];
+        let a5 = &a.row(r + 5)[first_row..first_row + n_out];
+        let a6 = &a.row(r + 6)[first_row..first_row + n_out];
+        let a7 = &a.row(r + 7)[first_row..first_row + n_out];
+        let (b0, b1, b2, b3) = (b.row(r), b.row(r + 1), b.row(r + 2), b.row(r + 3));
+        let (b4, b5, b6, b7) = (b.row(r + 4), b.row(r + 5), b.row(r + 6), b.row(r + 7));
+        for i in 0..n_out {
+            let (v0, v1, v2, v3) = (a0[i], a1[i], a2[i], a3[i]);
+            let (v4, v5, v6, v7) = (a4[i], a5[i], a6[i], a7[i]);
+            // lint: allow(float-cmp) sparsity fast path skips exact zeros only
+            let zero_lo = v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0;
+            // lint: allow(float-cmp) sparsity fast path skips exact zeros only
+            let zero_hi = v4 == 0.0 && v5 == 0.0 && v6 == 0.0 && v7 == 0.0;
+            if zero_lo && zero_hi {
+                continue;
+            }
+            let orow = &mut out_chunk[i * cols..(i + 1) * cols];
+            for ((((((((o, &w0), &w1), &w2), &w3), &w4), &w5), &w6), &w7) in orow
+                .iter_mut()
+                .zip(b0)
+                .zip(b1)
+                .zip(b2)
+                .zip(b3)
+                .zip(b4)
+                .zip(b5)
+                .zip(b6)
+                .zip(b7)
+            {
+                let mut acc = *o;
+                acc += v0 * w0;
+                acc += v1 * w1;
+                acc += v2 * w2;
+                acc += v3 * w3;
+                acc += v4 * w4;
+                acc += v5 * w5;
+                acc += v6 * w6;
+                acc += v7 * w7;
+                *o = acc;
+            }
+        }
+        r += KERNEL_BLOCK;
+    }
+    while r < a.rows {
+        let arow = &a.row(r)[first_row..first_row + n_out];
+        let brow = b.row(r);
+        for (i, &v) in arow.iter().enumerate() {
+            // lint: allow(float-cmp) sparsity fast path skips exact zeros only
+            if v == 0.0 {
+                continue;
+            }
+            let orow = &mut out_chunk[i * cols..(i + 1) * cols];
+            for (o, &w) in orow.iter_mut().zip(brow) {
+                *o += v * w;
+            }
+        }
+        r += 1;
+    }
+}
+
+/// `matmul_t` kernel for output rows `[first_row, first_row + n)` —
+/// each output element is a dot product accumulated in ascending column
+/// order (the unroll runs [`KERNEL_BLOCK`] *independent* dots at once,
+/// each still strictly sequential), identical to the naive loop.
+fn mmt_rows(a: &Matrix, b: &Matrix, first_row: usize, out_chunk: &mut [f64]) {
+    let n_b = b.rows;
+    if n_b == 0 {
+        return;
+    }
+    for (ri, out_row) in out_chunk.chunks_mut(n_b).enumerate() {
+        let arow = a.row(first_row + ri);
+        let mut rr = 0;
+        while rr + KERNEL_BLOCK <= n_b {
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let (mut s4, mut s5, mut s6, mut s7) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for ((((((((&av, &w0), &w1), &w2), &w3), &w4), &w5), &w6), &w7) in arow
+                .iter()
+                .zip(b.row(rr))
+                .zip(b.row(rr + 1))
+                .zip(b.row(rr + 2))
+                .zip(b.row(rr + 3))
+                .zip(b.row(rr + 4))
+                .zip(b.row(rr + 5))
+                .zip(b.row(rr + 6))
+                .zip(b.row(rr + 7))
+            {
+                s0 += av * w0;
+                s1 += av * w1;
+                s2 += av * w2;
+                s3 += av * w3;
+                s4 += av * w4;
+                s5 += av * w5;
+                s6 += av * w6;
+                s7 += av * w7;
+            }
+            out_row[rr] = s0;
+            out_row[rr + 1] = s1;
+            out_row[rr + 2] = s2;
+            out_row[rr + 3] = s3;
+            out_row[rr + 4] = s4;
+            out_row[rr + 5] = s5;
+            out_row[rr + 6] = s6;
+            out_row[rr + 7] = s7;
+            rr += KERNEL_BLOCK;
+        }
+        while rr < n_b {
+            let mut s = 0.0;
+            for (&av, &w) in arow.iter().zip(b.row(rr)) {
+                s += av * w;
+            }
+            out_row[rr] = s;
+            rr += 1;
+        }
+    }
+}
+
+/// A free-list of [`Matrix`] buffers for scratch reuse inside layer
+/// forward/backward passes: `grab` a zeroed matrix of the shape you
+/// need, `recycle` it (or a retired cache matrix) when done. Reuses
+/// allocations, never affects values — a grabbed matrix is
+/// indistinguishable from a fresh `Matrix::zeros`.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixPool {
+    free: Vec<Matrix>,
+}
+
+impl MatrixPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zeroed `rows × cols` matrix, reusing a recycled allocation when
+    /// one is available.
+    pub fn grab(&mut self, rows: usize, cols: usize) -> Matrix {
+        match self.free.pop() {
+            Some(mut m) => {
+                m.resize_to(rows, cols);
+                m
+            }
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// Return a buffer to the free list.
+    pub fn recycle(&mut self, m: Matrix) {
+        self.free.push(m);
+    }
+
+    /// Number of buffers currently on the free list.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether the free list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
     }
 }
 
@@ -339,6 +778,67 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_reuse_buffers_and_resize() {
+        let a = Matrix::xavier_seeded(5, 7, 1);
+        let b = Matrix::xavier_seeded(7, 3, 2);
+        // Start with a wrong-shaped, dirty buffer: results must not care.
+        let mut out = Matrix::from_vec(2, 2, vec![9., 9., 9., 9.]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        a.t_matmul_into(&a, &mut out);
+        assert_eq!(out, a.t_matmul(&a));
+        a.matmul_t_into(&a, &mut out);
+        assert_eq!(out, a.matmul_t(&a));
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_reference_exactly() {
+        // Shapes around the unroll block (KERNEL_BLOCK = 8), incl. primes.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 5, 1),
+            (3, 4, 5),
+            (4, 7, 4),
+            (5, 13, 3),
+            (8, 8, 8),
+            (3, 16, 2),
+            (2, 17, 9),
+        ] {
+            let a = Matrix::xavier_seeded(m, k, (m * 100 + k) as u64);
+            let b = Matrix::xavier_seeded(k, n, (k * 100 + n) as u64);
+            let naive = Matrix::from_fn(m, n, |r, c| {
+                let mut s = 0.0;
+                for i in 0..k {
+                    s += a.get(r, i) * b.get(i, c);
+                }
+                s
+            });
+            assert_eq!(a.matmul(&b).data(), naive.data(), "{m}x{k}·{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn zero_rich_inputs_hit_the_sparsity_skip_and_stay_exact() {
+        let a = Matrix::from_fn(6, 9, |r, c| {
+            if (r + c) % 3 == 0 {
+                (r + c) as f64
+            } else {
+                0.0
+            }
+        });
+        let b = Matrix::xavier_seeded(9, 5, 11);
+        let dense = Matrix::from_fn(6, 5, |r, c| {
+            let mut s = 0.0;
+            for i in 0..9 {
+                s += a.get(r, i) * b.get(i, c);
+            }
+            s
+        });
+        assert_eq!(a.matmul(&b).data(), dense.data());
+        assert_eq!(a.t_matmul(&a), a.transpose().matmul(&a));
+    }
+
+    #[test]
     fn softmax_rows_sum_to_one_and_stable() {
         let m = Matrix::from_vec(2, 3, vec![1000., 1001., 1002., -5., 0., 5.]);
         let s = m.softmax_rows();
@@ -361,6 +861,65 @@ mod tests {
     }
 
     #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let a = Matrix::xavier_seeded(3, 4, 5);
+        let b = Matrix::xavier_seeded(3, 4, 6);
+        let bias = Matrix::xavier_seeded(1, 4, 7);
+
+        let mut m = a.clone();
+        m.sub_assign(&b);
+        assert_eq!(m, a.sub(&b));
+
+        let mut m = a.clone();
+        m.hadamard_assign(&b);
+        assert_eq!(m, a.hadamard(&b));
+
+        let mut m = a.clone();
+        m.scale_assign(0.5);
+        assert_eq!(m, a.scaled(0.5));
+
+        let mut m = a.clone();
+        m.add_row_broadcast_assign(&bias);
+        assert_eq!(m, a.add_row_broadcast(&bias));
+
+        let mut m = a.clone();
+        m.map_assign(f64::tanh);
+        assert_eq!(m, a.map(f64::tanh));
+
+        let mut m = a.clone();
+        m.softmax_rows_assign();
+        assert_eq!(m, a.softmax_rows());
+
+        let mut out = Matrix::zeros(9, 9);
+        a.sum_rows_into(&mut out);
+        assert_eq!(out, a.sum_rows());
+    }
+
+    #[test]
+    fn pool_grab_is_indistinguishable_from_fresh_zeros() {
+        let mut pool = MatrixPool::new();
+        let mut m = pool.grab(2, 3);
+        assert_eq!(m, Matrix::zeros(2, 3));
+        m.set(1, 2, 42.0);
+        pool.recycle(m);
+        assert_eq!(pool.len(), 1);
+        // Recycled buffer comes back zeroed at the new shape.
+        let m = pool.grab(3, 2);
+        assert_eq!(m, Matrix::zeros(3, 2));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn copy_from_and_resize_reuse_allocations() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let mut m = Matrix::zeros(5, 5);
+        m.copy_from(&a);
+        assert_eq!(m, a);
+        m.resize_to(1, 3);
+        assert_eq!(m, Matrix::zeros(1, 3));
+    }
+
+    #[test]
     fn concat_split_roundtrip() {
         let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
         let b = Matrix::from_vec(2, 1, vec![5., 6.]);
@@ -369,6 +928,27 @@ mod tests {
         let (l, r) = cat.split_cols(2);
         assert_eq!(l, a);
         assert_eq!(r, b);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Matrix::xavier_seeded(3, 5, 9);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.get(4, 2), a.get(2, 4));
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn empty_products_are_well_formed() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        let c = a.matmul(&b);
+        assert_eq!((c.rows(), c.cols()), (3, 4));
+        assert_eq!(c, Matrix::zeros(3, 4));
+        let d = Matrix::zeros(2, 5).matmul(&Matrix::zeros(5, 0));
+        assert_eq!((d.rows(), d.cols()), (2, 0));
     }
 
     #[test]

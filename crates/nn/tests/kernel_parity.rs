@@ -1,0 +1,186 @@
+//! Parity suite for the blocked/parallel matmul kernels.
+//!
+//! The kernels in `nn::tensor` (KERNEL_BLOCK unrolling, K-tiling, the
+//! exact-zero skip, and `nn::par` row partitioning) promise **bit
+//! identity** with the textbook triple loop for every shape and every
+//! thread count. This suite holds them to it: a naive reference is
+//! evaluated side by side over ragged shapes — 1×1, single rows/cols,
+//! prime dimensions, and sizes straddling the 8-wide block — at 1, 2,
+//! and 8 threads, comparing raw `data()` bits, not an epsilon.
+
+use nn::gradcheck::seq::check_recurrent_gradients;
+use nn::tensor::Matrix;
+use nn::{Gru, Lstm};
+
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+        let mut acc = 0.0;
+        for k in 0..a.cols() {
+            acc += a.get(i, k) * b.get(k, j);
+        }
+        acc
+    })
+}
+
+fn naive_t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    Matrix::from_fn(a.cols(), b.cols(), |i, j| {
+        let mut acc = 0.0;
+        for k in 0..a.rows() {
+            acc += a.get(k, i) * b.get(k, j);
+        }
+        acc
+    })
+}
+
+fn naive_matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+    Matrix::from_fn(a.rows(), b.rows(), |i, j| {
+        let mut acc = 0.0;
+        for k in 0..a.cols() {
+            acc += a.get(i, k) * b.get(j, k);
+        }
+        acc
+    })
+}
+
+/// Dense-ish deterministic fill with exact zeros sprinkled in so the
+/// kernels' zero-skip fast path is exercised, not just dense math.
+fn fill(rows: usize, cols: usize, salt: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        let h = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(j as u64)
+            .wrapping_mul(1442695040888963407)
+            .wrapping_add(salt);
+        if h % 5 == 0 {
+            0.0
+        } else {
+            ((h >> 16) % 2048) as f64 / 407.0 - 2.5
+        }
+    })
+}
+
+/// Ragged shapes (m, k, n): degenerate, prime, block-straddling, and one
+/// large enough (m·k·n ≥ 2²¹ flops) to actually cross the parallel
+/// threshold so multi-thread runs really split rows.
+const SHAPES: [(usize, usize, usize); 10] = [
+    (1, 1, 1),
+    (1, 7, 1),
+    (1, 8, 9),
+    (5, 13, 3),
+    (3, 8, 2),
+    (4, 9, 5),
+    (2, 16, 3),
+    (6, 17, 7),
+    (9, 33, 8),
+    (130, 129, 131),
+];
+
+#[test]
+fn kernels_match_naive_bitwise_across_thread_counts() {
+    for threads in [1usize, 2, 8] {
+        nn::par::set_threads(threads);
+        for &(m, k, n) in &SHAPES {
+            let a = fill(m, k, 1);
+            let b = fill(k, n, 2);
+            assert_eq!(
+                a.matmul(&b).data(),
+                naive_matmul(&a, &b).data(),
+                "matmul {m}x{k}x{n} at {threads} threads"
+            );
+
+            let at = fill(k, m, 3);
+            assert_eq!(
+                at.t_matmul(&b).data(),
+                naive_t_matmul(&at, &b).data(),
+                "t_matmul {m}x{k}x{n} at {threads} threads"
+            );
+
+            let bt = fill(n, k, 4);
+            assert_eq!(
+                a.matmul_t(&bt).data(),
+                naive_matmul_t(&a, &bt).data(),
+                "matmul_t {m}x{k}x{n} at {threads} threads"
+            );
+        }
+    }
+    nn::par::set_threads(1);
+}
+
+#[test]
+fn into_variants_reuse_buffers_without_changing_bits() {
+    let mut out = Matrix::zeros(0, 0);
+    for &(m, k, n) in &SHAPES {
+        let a = fill(m, k, 5);
+        let b = fill(k, n, 6);
+        // The same `out` is recycled across every shape; stale contents
+        // and capacity from the previous (larger or smaller) product
+        // must never leak into the next result.
+        a.matmul_into(&b, &mut out);
+        assert_eq!(
+            out.data(),
+            naive_matmul(&a, &b).data(),
+            "matmul_into {m}x{k}x{n}"
+        );
+    }
+}
+
+#[test]
+fn repeated_forward_through_reused_scratch_is_bit_identical() {
+    let xs: Vec<Matrix> = (0..4).map(|t| fill(3, 5, 100 + t)).collect();
+
+    let mut gru = Gru::new(5, 6, 9);
+    let first: Vec<Matrix> = gru.forward(&xs);
+    for _ in 0..3 {
+        let again = gru.forward(&xs);
+        for (t, (y0, y1)) in first.iter().zip(&again).enumerate() {
+            assert_eq!(y0.data(), y1.data(), "GRU step {t} drifted on reuse");
+        }
+    }
+
+    let mut lstm = Lstm::new(5, 6, 9);
+    let first: Vec<Matrix> = lstm.forward(&xs);
+    for _ in 0..3 {
+        let again = lstm.forward(&xs);
+        for (t, (y0, y1)) in first.iter().zip(&again).enumerate() {
+            assert_eq!(y0.data(), y1.data(), "LSTM step {t} drifted on reuse");
+        }
+    }
+}
+
+#[test]
+fn gru_gradcheck_through_scratch_buffers() {
+    let mut gru = Gru::new(3, 4, 21);
+    let xs: Vec<Matrix> = (0..3)
+        .map(|i| Matrix::xavier_seeded(2, 3, 70 + i).scaled(2.0))
+        .collect();
+    // Warm the scratch buffers first so the checked passes run through
+    // recycled allocations, not fresh zeroed ones.
+    let _ = gru.forward(&xs);
+    check_recurrent_gradients(
+        &xs,
+        |l: &mut Gru, seq| l.forward(seq),
+        |l, g| l.backward(g),
+        |l| l.params_mut(),
+        &mut gru,
+        1e-6,
+        1e-5,
+    );
+}
+
+#[test]
+fn lstm_gradcheck_through_scratch_buffers() {
+    let mut lstm = Lstm::new(3, 4, 22);
+    let xs: Vec<Matrix> = (0..3)
+        .map(|i| Matrix::xavier_seeded(2, 3, 80 + i).scaled(2.0))
+        .collect();
+    let _ = lstm.forward(&xs);
+    check_recurrent_gradients(
+        &xs,
+        |l: &mut Lstm, seq| l.forward(seq),
+        |l, g| l.backward(g),
+        |l| l.params_mut(),
+        &mut lstm,
+        1e-6,
+        1e-5,
+    );
+}

@@ -34,6 +34,12 @@ pub struct Doc2VecConfig {
     pub min_count: u64,
     /// RNG seed for reproducibility.
     pub seed: u64,
+    /// Worker threads for the data-preparation stages (`0` =
+    /// auto-detect; the `RETINA_THREADS` environment variable overrides,
+    /// see [`nn::par::resolve`]). Training itself is unaffected — see
+    /// the note in [`Doc2Vec::train`] — so vectors are identical for any
+    /// thread count.
+    pub threads: usize,
 }
 
 impl Default for Doc2VecConfig {
@@ -46,6 +52,7 @@ impl Default for Doc2VecConfig {
             negative: 5,
             min_count: 1,
             seed: 42,
+            threads: 0,
         }
     }
 }
@@ -80,11 +87,13 @@ impl Doc2Vec {
         };
         let (vocab, _remap) = full.pruned(config.min_count);
 
-        // Documents as id sequences.
-        let id_docs: Vec<Vec<usize>> = docs
-            .iter()
-            .map(|d| d.iter().filter_map(|t| vocab.get(t)).collect())
-            .collect();
+        // Documents as id sequences — a pure per-document lookup, mapped
+        // in parallel into index-assigned slots (order-preserving for any
+        // thread count).
+        let workers = nn::par::resolve(config.threads).min(docs.len().max(1));
+        let id_docs: Vec<Vec<usize>> = nn::par::map_indexed(docs.len(), workers, |i| {
+            docs[i].iter().filter_map(|t| vocab.get(t)).collect()
+        });
 
         let neg_table = Self::build_neg_table(&vocab);
 
@@ -101,6 +110,13 @@ impl Doc2Vec {
             (config.epochs as u64) * id_docs.iter().map(|d| d.len() as u64).sum::<u64>().max(1);
         let mut step: u64 = 0;
 
+        // The SGD loop stays serial by design: every update draws
+        // negatives from the single seeded RNG stream and writes the
+        // shared `word_out` rows, so the (epoch, doc, word) visit order
+        // *is* the reproducibility contract — any parallel split (e.g.
+        // hogwild sharding) would reorder those draws and updates and
+        // change the trained vectors. Threads only accelerate the pure
+        // per-document stages above.
         for _epoch in 0..config.epochs {
             for (di, doc) in id_docs.iter().enumerate() {
                 for &w in doc {

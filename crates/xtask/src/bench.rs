@@ -1,0 +1,231 @@
+//! Benchmark report plumbing for `cargo run -p xtask -- bench-report`.
+//!
+//! Parses the line-oriented output of the vendored criterion stub
+//! (`bench <name> mean <dur>  min <dur>  (<n> samples)`) and renders
+//! `BENCH_kernels.json`: a committed before/after record of the compute
+//! kernel hot paths. The first run seeds the `baseline` section; later
+//! runs preserve it and refresh `current`, so the file always answers
+//! "how much faster is the tree than the recorded baseline?".
+
+/// One benchmark measurement, durations normalized to nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Criterion id, e.g. `nn/attention_fwd_bwd_60news`.
+    pub name: String,
+    /// Mean wall-clock time per sample, in ns.
+    pub mean_ns: f64,
+    /// Fastest sample, in ns.
+    pub min_ns: f64,
+    /// Number of timed samples behind the mean.
+    pub samples: u64,
+}
+
+/// Parse a `std::time::Duration` Debug rendering (`543ns`, `44.293µs`,
+/// `3.85ms`, `1.2s`) into nanoseconds. Returns `None` on anything else.
+pub fn parse_duration_ns(s: &str) -> Option<f64> {
+    let s = s.trim();
+    // Longest suffixes first so `ms`/`ns`/`µs` are not mistaken for `s`.
+    let (num, scale) = if let Some(p) = s.strip_suffix("ns") {
+        (p, 1.0)
+    } else if let Some(p) = s.strip_suffix("µs").or_else(|| s.strip_suffix("us")) {
+        (p, 1e3)
+    } else if let Some(p) = s.strip_suffix("ms") {
+        (p, 1e6)
+    } else if let Some(p) = s.strip_suffix('s') {
+        (p, 1e9)
+    } else {
+        return None;
+    };
+    num.trim().parse::<f64>().ok().map(|v| v * scale)
+}
+
+/// Extract every `bench ...` line from a `cargo bench` run. Lines that
+/// do not match the stub's report format are skipped, so compiler
+/// chatter interleaved with the measurements is harmless.
+pub fn parse_bench_lines(out: &str) -> Vec<BenchEntry> {
+    let mut entries = Vec::new();
+    for line in out.lines() {
+        let Some(rest) = line.strip_prefix("bench ") else {
+            continue;
+        };
+        let Some(mean_pos) = rest.find(" mean ") else {
+            continue;
+        };
+        let name = rest[..mean_pos].trim().to_string();
+        let tail = &rest[mean_pos + " mean ".len()..];
+        let Some(min_pos) = tail.find(" min ") else {
+            continue;
+        };
+        let Some(mean_ns) = parse_duration_ns(&tail[..min_pos]) else {
+            continue;
+        };
+        let after_min = &tail[min_pos + " min ".len()..];
+        let Some(par) = after_min.find('(') else {
+            continue;
+        };
+        let Some(min_ns) = parse_duration_ns(&after_min[..par]) else {
+            continue;
+        };
+        let samples = after_min[par + 1..]
+            .trim_end()
+            .trim_end_matches(')')
+            .trim_end_matches("samples")
+            .trim()
+            .parse()
+            .unwrap_or(0);
+        entries.push(BenchEntry {
+            name,
+            mean_ns,
+            min_ns,
+            samples,
+        });
+    }
+    entries
+}
+
+/// Pull the `baseline` entries back out of a previously rendered
+/// `BENCH_kernels.json`. Only understands the exact shape
+/// [`render_json`] writes — which is all it ever needs to read.
+pub fn parse_baseline_section(json: &str) -> Vec<BenchEntry> {
+    let Some(start) = json.find("\"baseline\": {") else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    for line in json[start..].lines().skip(1) {
+        let line = line.trim();
+        if line == "}" || line == "}," {
+            break;
+        }
+        let Some(entry) = parse_entry_line(line) else {
+            continue;
+        };
+        entries.push(entry);
+    }
+    entries
+}
+
+fn parse_entry_line(line: &str) -> Option<BenchEntry> {
+    // `"name": { "mean_ns": 1.5, "min_ns": 1, "samples": 10 },`
+    let rest = line.strip_prefix('"')?;
+    let name_end = rest.find('"')?;
+    let name = rest[..name_end].to_string();
+    let mean_ns = field(rest, "\"mean_ns\": ")?;
+    let min_ns = field(rest, "\"min_ns\": ")?;
+    let samples = field(rest, "\"samples\": ")? as u64;
+    Some(BenchEntry {
+        name,
+        mean_ns,
+        min_ns,
+        samples,
+    })
+}
+
+fn field(line: &str, key: &str) -> Option<f64> {
+    let at = line.find(key)? + key.len();
+    let tail = &line[at..];
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Render the committed report: recorded baseline, the fresh run, and a
+/// per-benchmark speedup (baseline / current) where names overlap.
+pub fn render_json(baseline: &[BenchEntry], current: &[BenchEntry]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"cargo bench -p bench --bench substrates\",\n");
+    out.push_str("  \"unit\": \"nanoseconds\",\n");
+    render_section(&mut out, "baseline", baseline);
+    out.push_str(",\n");
+    render_section(&mut out, "current", current);
+    out.push_str(",\n  \"speedup_vs_baseline\": {\n");
+    let mut pairs = Vec::new();
+    for cur in current {
+        if let Some(base) = baseline.iter().find(|b| b.name == cur.name) {
+            if cur.mean_ns > 0.0 && cur.min_ns > 0.0 {
+                pairs.push(format!(
+                    "    \"{}\": {{ \"mean\": {:.2}, \"min\": {:.2} }}",
+                    cur.name,
+                    base.mean_ns / cur.mean_ns,
+                    base.min_ns / cur.min_ns
+                ));
+            }
+        }
+    }
+    out.push_str(&pairs.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+fn render_section(out: &mut String, title: &str, entries: &[BenchEntry]) {
+    out.push_str(&format!("  \"{title}\": {{\n"));
+    let lines: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "    \"{}\": {{ \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {} }}",
+                e.name, e.mean_ns, e.min_ns, e.samples
+            )
+        })
+        .collect();
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  }");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_normalize_to_ns() {
+        assert_eq!(parse_duration_ns("543ns"), Some(543.0));
+        assert_eq!(parse_duration_ns("44.293µs"), Some(44293.0));
+        assert_eq!(parse_duration_ns("3.853832ms"), Some(3853832.0));
+        assert_eq!(parse_duration_ns("1.5s"), Some(1.5e9));
+        assert_eq!(parse_duration_ns("  829.689µs "), Some(829689.0));
+        assert_eq!(parse_duration_ns("fast"), None);
+        assert_eq!(parse_duration_ns(""), None);
+    }
+
+    #[test]
+    fn bench_lines_parse_the_stub_report_format() {
+        let out = "   Compiling bench v0.1.0\n\
+                   bench nn/attention_fwd_bwd_60news                        \
+                   mean    829.689µs  min    793.113µs  (10 samples)\n\
+                   bench graph/bfs_shortest_path_cap4                       \
+                   mean     44.293µs  min        543ns  (10 samples)\n\
+                   random noise line\n";
+        let entries = parse_bench_lines(out);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "nn/attention_fwd_bwd_60news");
+        assert_eq!(entries[0].mean_ns, 829689.0);
+        assert_eq!(entries[0].min_ns, 793113.0);
+        assert_eq!(entries[0].samples, 10);
+        assert_eq!(entries[1].min_ns, 543.0);
+    }
+
+    #[test]
+    fn baseline_survives_a_render_parse_round_trip() {
+        let baseline = vec![BenchEntry {
+            name: "nn/gru_bptt_6steps_batch64".into(),
+            mean_ns: 24011705.0,
+            min_ns: 23265429.0,
+            samples: 10,
+        }];
+        let current = vec![BenchEntry {
+            name: "nn/gru_bptt_6steps_batch64".into(),
+            mean_ns: 10439263.0,
+            min_ns: 10105327.0,
+            samples: 10,
+        }];
+        let json = render_json(&baseline, &current);
+        assert_eq!(parse_baseline_section(&json), baseline);
+        // ~2.3× speedup shows up in the report.
+        assert!(json.contains("\"mean\": 2.30"));
+    }
+
+    #[test]
+    fn missing_baseline_section_parses_to_empty() {
+        assert!(parse_baseline_section("{}").is_empty());
+    }
+}

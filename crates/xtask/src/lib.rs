@@ -24,6 +24,7 @@
 //! is required.
 
 pub mod baseline;
+pub mod bench;
 pub mod lexer;
 pub mod passes;
 pub mod rules;

@@ -1,6 +1,7 @@
 //! `cargo run -p xtask -- lint [--fix-inventory]`
 //! `cargo run -p xtask -- analyze [--format text|json|sarif] [--baseline]
 //!                                [--update-baseline] [--emit-dot <path>]`
+//! `cargo run -p xtask -- bench-report`
 //!
 //! `lint` exits nonzero when any R1–R4 violation (or malformed
 //! allow-comment) is found. The R5 open-marker (todo/fixme) inventory
@@ -11,6 +12,11 @@
 //! `analyze` runs the semantic passes (A1 shape-flow, A2 determinism,
 //! A3 cast-safety) over the workspace and exits nonzero when any
 //! non-baselined warning/error-severity finding remains.
+//!
+//! `bench-report` runs the substrates criterion benchmark and rewrites
+//! `BENCH_kernels.json` at the workspace root. The first run seeds the
+//! `baseline` section; later runs keep it and refresh `current`, plus a
+//! per-benchmark `speedup_vs_baseline` summary.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -21,7 +27,8 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: cargo run -p xtask -- lint [--fix-inventory]\n       \
              cargo run -p xtask -- analyze [--format text|json|sarif] \
-             [--baseline] [--update-baseline] [--emit-dot <path>]"
+             [--baseline] [--update-baseline] [--emit-dot <path>]\n       \
+             cargo run -p xtask -- bench-report"
         );
         return ExitCode::from(2);
     };
@@ -45,8 +52,11 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        "bench-report" => run_bench_report(),
         other => {
-            eprintln!("unknown subcommand `{other}`; expected `lint` or `analyze`");
+            eprintln!(
+                "unknown subcommand `{other}`; expected `lint`, `analyze`, or `bench-report`"
+            );
             ExitCode::from(2)
         }
     }
@@ -79,6 +89,73 @@ fn run_lint(json: bool) -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Name of the committed benchmark report at the workspace root.
+const BENCH_REPORT_FILE: &str = "BENCH_kernels.json";
+
+fn run_bench_report() -> ExitCode {
+    let root = workspace_root();
+    eprintln!("running `cargo bench -p bench --bench substrates` (this builds in release)...");
+    let out = match std::process::Command::new("cargo")
+        .args(["bench", "-p", "bench", "--bench", "substrates"])
+        .current_dir(root)
+        .output()
+    {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("failed to spawn cargo bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !out.status.success() {
+        eprintln!(
+            "cargo bench failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        return ExitCode::from(2);
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let current = xtask::bench::parse_bench_lines(&stdout);
+    if current.is_empty() {
+        eprintln!("cargo bench produced no parseable `bench ...` lines:\n{stdout}");
+        return ExitCode::from(2);
+    }
+
+    let path = root.join(BENCH_REPORT_FILE);
+    // A pre-existing report pins the baseline; the very first run seeds
+    // it from the fresh numbers (speedup 1.00 across the board).
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(existing) => {
+            let b = xtask::bench::parse_baseline_section(&existing);
+            if b.is_empty() {
+                current.clone()
+            } else {
+                b
+            }
+        }
+        Err(_) => current.clone(),
+    };
+    let json = xtask::bench::render_json(&baseline, &current);
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("failed to write {}: {e}", path.display());
+        return ExitCode::from(2);
+    }
+
+    for entry in &current {
+        let vs = baseline
+            .iter()
+            .find(|b| b.name == entry.name)
+            .map(|b| format!("  ({:.2}x vs baseline)", b.mean_ns / entry.mean_ns))
+            .unwrap_or_default();
+        println!(
+            "bench {:<50} mean {:>12.3}µs{vs}",
+            entry.name,
+            entry.mean_ns / 1e3
+        );
+    }
+    eprintln!("wrote {}", path.display());
+    ExitCode::SUCCESS
 }
 
 struct AnalyzeOpts {

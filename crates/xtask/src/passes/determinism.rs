@@ -13,6 +13,11 @@
 //!    `BTreeSet` or sort before iterating.
 //! 3. **Wall-clock reads** (`Instant::now`, `SystemTime::now`) — warning.
 //!    Timing belongs in the bench crate, not in result paths.
+//! 4. **Ad-hoc thread spawning** (`thread::spawn`, `thread::scope`,
+//!    `crossbeam::scope`) outside the blessed `nn::par` module — error.
+//!    All data-parallel work must route through the `nn::par` splitters
+//!    so the bit-identity contract (disjoint output partitions, serial
+//!    reductions) is enforced in one audited place.
 //!
 //! Detection of (2) is two-phase per file: collect every identifier
 //! declared with a `HashMap`/`HashSet` type (let bindings and struct
@@ -30,6 +35,10 @@ const SCOPE: [&str; 5] = ["core", "ml", "diffusion", "nn", "socialsim"];
 
 /// Iterating method names on hash collections that expose hasher order.
 const ITER_METHODS: [&str; 6] = ["iter", "keys", "values", "values_mut", "drain", "into_iter"];
+
+/// Files allowed to spawn threads: the single blessed work-splitting
+/// entry point. Everything else must build on `nn::par`.
+const THREADING_ALLOWED: [&str; 1] = ["crates/nn/src/par.rs"];
 
 pub struct Determinism;
 
@@ -53,6 +62,7 @@ impl Pass for Determinism {
             let mut findings = Vec::new();
             check_rng_and_clock(file, &mut findings);
             check_hash_iteration(file, &mut findings);
+            check_adhoc_threading(file, &mut findings);
             findings.retain(|f| !f.severity.is_failing() || !allowed.contains(&f.line));
             out.findings.extend(findings);
         }
@@ -154,6 +164,39 @@ fn check_rng_and_clock(file: &super::AnalyzedFile, findings: &mut Vec<Finding>) 
                 ))
             }
             _ => {}
+        }
+    }
+}
+
+/// Ad-hoc thread spawning outside the blessed `nn::par` module.
+fn check_adhoc_threading(file: &super::AnalyzedFile, findings: &mut Vec<Finding>) {
+    let path = &file.source.path;
+    if THREADING_ALLOWED.iter().any(|p| path.ends_with(p)) {
+        return;
+    }
+    let toks = &file.tokens;
+    for (j, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        if matches!(t.text.as_str(), "spawn" | "scope")
+            && j >= 2
+            && toks[j - 1].is_punct("::")
+            && matches!(toks[j - 2].text.as_str(), "thread" | "crossbeam")
+        {
+            findings.push(finding(
+                path,
+                t.line,
+                Severity::Error,
+                format!(
+                    "ad-hoc `{}::{}` outside nn::par: data-parallel work must go \
+                     through the nn::par splitters so the bit-identity contract \
+                     (disjoint output partitions, serial reductions) is enforced \
+                     in one audited place",
+                    toks[j - 2].text,
+                    t.text
+                ),
+            ));
         }
     }
 }
@@ -348,6 +391,30 @@ mod tests {
         let f = run_on(
             "crates/ml/src/x.rs",
             "#[cfg(test)]\nmod tests {\n    fn t() { let _ = StdRng::from_entropy(); }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn adhoc_thread_spawn_is_an_error() {
+        let f = run_on(
+            "crates/core/src/x.rs",
+            "fn f() {\n\
+                 crossbeam::scope(|s| { s.spawn(|_| {}); }).unwrap();\n\
+                 let h = std::thread::spawn(|| 1);\n\
+                 let _ = h.join();\n\
+             }\n",
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.severity == Severity::Error));
+        assert!(f[0].message.contains("nn::par"));
+    }
+
+    #[test]
+    fn blessed_par_module_may_spawn() {
+        let f = run_on(
+            "crates/nn/src/par.rs",
+            "fn f() { crossbeam::scope(|s| { s.spawn(|_| {}); }).unwrap(); }\n",
         );
         assert!(f.is_empty(), "{f:?}");
     }

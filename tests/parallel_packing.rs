@@ -30,15 +30,24 @@ fn parallel_packing_matches_serial() {
         .iter()
         .map(|s| pack_sample(&feats, s, &intervals, 10))
         .collect();
-    let parallel = pack_samples_parallel(&feats, &samples, &intervals, 10, 4);
 
-    assert_eq!(serial.len(), parallel.len());
-    for (a, b) in serial.iter().zip(&parallel) {
-        assert_eq!(a.user_rows, b.user_rows);
-        assert_eq!(a.labels, b.labels);
-        assert_eq!(a.interval_labels, b.interval_labels);
-        assert_eq!(a.tweet_d2v, b.tweet_d2v);
-        assert_eq!(a.news_d2v, b.news_d2v);
+    // The doc contract on `pack_samples_parallel` promises bit-identical
+    // output for 1, 3, and 7 threads: sample `i` always lands in slot
+    // `i`, whatever the chunking. 3 and 7 deliberately do not divide the
+    // sample count evenly, so ragged tail chunks are exercised too.
+    for n_threads in [1usize, 3, 7] {
+        let parallel = pack_samples_parallel(&feats, &samples, &intervals, 10, n_threads);
+        assert_eq!(serial.len(), parallel.len(), "{n_threads} threads");
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(a.user_rows, b.user_rows, "sample {i}, {n_threads} threads");
+            assert_eq!(a.labels, b.labels, "sample {i}, {n_threads} threads");
+            assert_eq!(
+                a.interval_labels, b.interval_labels,
+                "sample {i}, {n_threads} threads"
+            );
+            assert_eq!(a.tweet_d2v, b.tweet_d2v, "sample {i}, {n_threads} threads");
+            assert_eq!(a.news_d2v, b.news_d2v, "sample {i}, {n_threads} threads");
+        }
     }
 }
 

@@ -75,18 +75,29 @@ impl Bencher {
 /// Entry point mirroring `criterion::Criterion`.
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 10 }
+        // Mirror real criterion's `--test` flag (`cargo bench -- --test`):
+        // a smoke mode that runs every benchmark once to prove it still
+        // executes, without burning time on repeated samples. CI uses it
+        // to keep the bench suite compiling and running.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: if test_mode { 1 } else { 10 },
+            test_mode,
+        }
     }
 }
 
 impl Criterion {
-    /// Number of timed runs per benchmark.
+    /// Number of timed runs per benchmark (pinned to 1 in `--test` mode).
     pub fn sample_size(mut self, n: usize) -> Self {
-        self.sample_size = n.max(1);
+        if !self.test_mode {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
@@ -132,9 +143,11 @@ impl<'a> BenchmarkGroup<'a> {
         self
     }
 
-    /// Override the group's sample count.
+    /// Override the group's sample count (pinned to 1 in `--test` mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.criterion.sample_size = n.max(1);
+        if !self.criterion.test_mode {
+            self.criterion.sample_size = n.max(1);
+        }
         self
     }
 
