@@ -20,7 +20,8 @@ step "xtask lint"
 cargo run -p xtask -- lint
 
 step "xtask analyze"
-# Semantic passes (A1 shape-flow, A2 determinism, A3 cast-safety).
+# Semantic passes (A1 shape-flow, A2 determinism, A3 cast-safety, A4
+# panic-reachability, A5 hot-loop allocation, A6 discarded-Result).
 # Fails on any finding not grandfathered in xtask-baseline.json; the
 # SARIF log is kept for CI systems and editors that ingest it.
 mkdir -p target
@@ -37,6 +38,14 @@ step "criterion smoke (bench --test)"
 # every routine runs, without paying for real measurements. Full numbers
 # come from `cargo run -p xtask -- bench-report` (see BENCH_kernels.json).
 cargo bench -p bench --bench substrates -- --test
+
+if [[ "${RETINA_BENCH_CHECK:-0}" == "1" ]]; then
+    step "bench regression check"
+    # Full measurement run compared against the committed
+    # BENCH_kernels.json `current` section; fails on any kernel row more
+    # than 15% slower. Opt-in (slow, and noisy on loaded machines).
+    cargo run -p xtask -- bench-report --check
+fi
 
 if [[ "${1:-}" == "--sanitize" ]]; then
     step "cargo test --features sanitize"

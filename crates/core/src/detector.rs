@@ -215,7 +215,7 @@ impl HateDetector {
             DetectorKind::WaseemHovy => {
                 let grams = text::char_ngrams(toks, 2, 4);
                 char_tfidf
-                    // lint: allow(unwrap) fit() builds the char vectorizer for this kind
+                    // lint: allow(unwrap) fit() builds the char vectorizer for this kind; lint: allow(panic-reach) API contract: predict requires a prior fit
                     .expect("char vectorizer missing")
                     .transform_tokens(&grams)
             }

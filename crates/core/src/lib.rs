@@ -34,4 +34,4 @@ pub use detector::HateDetector;
 pub use features::{FeatureGroup, HategenFeatures, RetweetFeatures, TextModels};
 pub use hategen::{HategenPipeline, HategenSample, ModelKind, Processing};
 pub use retina::{RecurrentKind, Retina, RetinaConfig, RetinaMode};
-pub use trainer::TrainConfig;
+pub use trainer::{TrainConfig, Trainer};

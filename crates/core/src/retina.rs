@@ -231,6 +231,22 @@ fn interval_label_row(t0: f64, rt_time: f64, intervals: &[f64]) -> Vec<u8> {
     row
 }
 
+/// Prediction head. Exactly one variant exists per model, fixed at
+/// construction by [`RetinaMode`], so the hot path never unwraps an
+/// `Option` to reach its layers.
+enum Head {
+    /// Static mode: one dense over the merged representation.
+    Static(Dense),
+    /// Dynamic mode: a recurrent cell unrolled over the intervals plus a
+    /// shared per-step dense.
+    Dynamic {
+        cell: RecurrentCell,
+        step: Dense,
+        /// Hidden states of the last forward (consumed by backward).
+        cache: Option<Vec<Matrix>>,
+    },
+}
+
 /// The RETINA model.
 pub struct Retina {
     /// Configuration.
@@ -238,14 +254,8 @@ pub struct Retina {
     user_dense: Dense,
     user_act: Activation,
     attention: Option<ExogenousAttention>,
-    /// Static head.
-    out_dense: Option<Dense>,
-    /// Dynamic head.
-    recurrent: Option<RecurrentCell>,
-    step_dense: Option<Dense>,
+    head: Head,
     scaler: Option<StandardScaler>,
-    /// Hidden states of the last dynamic forward (consumed by backward).
-    dyn_cache: Option<Vec<Matrix>>,
 }
 
 /// Decorrelated per-layer seeds, in lane order: user dense, exogenous
@@ -269,8 +279,8 @@ impl Retina {
             .use_exogenous
             .then(|| ExogenousAttention::new(config.d2v_dim, config.d2v_dim, h, s_attn));
         let merged = if config.use_exogenous { 2 * h } else { h };
-        let (out_dense, recurrent, step_dense) = match config.mode {
-            RetinaMode::Static => (Some(Dense::new(merged, 1, s_static)), None, None),
+        let head = match config.mode {
+            RetinaMode::Static => Head::Static(Dense::new(merged, 1, s_static)),
             RetinaMode::Dynamic => {
                 let cell = match config.recurrent {
                     RecurrentKind::Gru => RecurrentCell::Gru(Gru::new(merged, h, s_cell)),
@@ -279,7 +289,11 @@ impl Retina {
                         RecurrentCell::Rnn(SimpleRnn::new(merged, h, s_cell))
                     }
                 };
-                (None, Some(cell), Some(Dense::new(h, 1, s_step)))
+                Head::Dynamic {
+                    cell,
+                    step: Dense::new(h, 1, s_step),
+                    cache: None,
+                }
             }
         };
         Self {
@@ -287,11 +301,8 @@ impl Retina {
             user_dense,
             user_act,
             attention,
-            out_dense,
-            recurrent,
-            step_dense,
+            head,
             scaler: None,
-            dyn_cache: None,
         }
     }
 
@@ -351,18 +362,14 @@ impl Retina {
             }
             None => hidden,
         };
-        match self.config.mode {
-            // lint: allow(unwrap) new() wires out_dense for Static mode
-            RetinaMode::Static => self.out_dense.as_mut().unwrap().forward(&merged),
-            RetinaMode::Dynamic => {
-                let t_len = self.config.intervals.len();
+        let t_len = self.config.intervals.len();
+        match &mut self.head {
+            Head::Static(out) => out.forward(&merged),
+            Head::Dynamic { cell, step, cache } => {
                 let xs: Vec<Matrix> = (0..t_len).map(|_| merged.clone()).collect();
-                // lint: allow(unwrap) new() wires recurrent for Dynamic mode
-                let hs = self.recurrent.as_mut().unwrap().forward(&xs);
+                let hs = cell.forward(&xs);
                 // Per-step logits via the shared step dense; assemble
                 // candidates × T.
-                // lint: allow(unwrap) new() wires step_dense for Dynamic mode
-                let step = self.step_dense.as_mut().unwrap();
                 let mut out = Matrix::zeros(n, t_len);
                 for (t, h) in hs.iter().enumerate() {
                     let z = step.forward_inference(h);
@@ -372,7 +379,7 @@ impl Retina {
                 }
                 // Cache hidden states for backward by re-running the step
                 // dense in caching mode on the concatenation.
-                self.dyn_cache = Some(hs);
+                *cache = Some(hs);
                 out
             }
         }
@@ -383,28 +390,28 @@ impl Retina {
     pub fn backward(&mut self, sample: &PackedSample, grad_logits: &Matrix) {
         let n = sample.user_rows.len();
         let h = self.config.hdim;
-        let d_merged = match self.config.mode {
-            // lint: allow(unwrap) new() wires out_dense for Static mode
-            RetinaMode::Static => self.out_dense.as_mut().unwrap().backward(grad_logits),
-            RetinaMode::Dynamic => {
-                // lint: allow(unwrap) API contract: backward requires a prior forward
-                let hs = self.dyn_cache.take().expect("backward before forward");
-                let t_len = self.config.intervals.len();
-                // lint: allow(unwrap) new() wires step_dense for Dynamic mode
-                let step = self.step_dense.as_mut().unwrap();
-                let mut grad_hs: Vec<Matrix> = Vec::with_capacity(t_len);
+        let merged_cols = if self.attention.is_some() { 2 * h } else { h };
+        let d_merged = match &mut self.head {
+            Head::Static(out) => out.backward(grad_logits),
+            Head::Dynamic { cell, step, cache } => {
+                // lint: allow(unwrap) API contract: backward requires a prior forward; lint: allow(panic-reach) API contract, not a data-dependent failure
+                let hs = cache.take().expect("backward before forward");
+                let mut grad_hs: Vec<Matrix> = Vec::with_capacity(hs.len());
                 for (t, hmat) in hs.iter().enumerate() {
                     // Re-run step dense in caching mode for this timestep.
                     let _ = step.forward(hmat);
                     let g = Matrix::from_fn(n, 1, |r, _| grad_logits.get(r, t));
                     grad_hs.push(step.backward(&g));
                 }
-                // lint: allow(unwrap) new() wires recurrent for Dynamic mode
-                let dxs = self.recurrent.as_mut().unwrap().backward(&grad_hs);
-                // Inputs were identical at each step: sum the gradients.
-                let mut acc = dxs[0].clone();
-                for d in &dxs[1..] {
-                    acc.add_assign(d);
+                // Inputs were identical at each step: sum the gradients
+                // in step order (bit-for-bit the same as the serial sum).
+                let mut dxs = cell.backward(&grad_hs).into_iter();
+                let mut acc = match dxs.next() {
+                    Some(first) => first,
+                    None => Matrix::zeros(n, merged_cols),
+                };
+                for d in dxs {
+                    acc.add_assign(&d);
                 }
                 acc
             }
@@ -414,7 +421,7 @@ impl Retina {
             let (d_hidden, d_ctx_rows) = d_merged.split_cols(h);
             let d_ctx = d_ctx_rows.sum_rows();
             if !sample.news_d2v.is_empty() {
-                // lint: allow(unwrap) guarded by attention.is_some() above
+                // lint: allow(unwrap) guarded by attention.is_some() above; lint: allow(panic-reach) guarded by the attention.is_some() branch above
                 let _ = self.attention.as_mut().unwrap().backward(&d_ctx);
             }
             d_hidden
@@ -431,14 +438,12 @@ impl Retina {
         if let Some(att) = self.attention.as_mut() {
             p.extend(att.params_mut());
         }
-        if let Some(d) = self.out_dense.as_mut() {
-            p.extend(d.params_mut());
-        }
-        if let Some(c) = self.recurrent.as_mut() {
-            p.extend(c.params_mut());
-        }
-        if let Some(d) = self.step_dense.as_mut() {
-            p.extend(d.params_mut());
+        match &mut self.head {
+            Head::Static(out) => p.extend(out.params_mut()),
+            Head::Dynamic { cell, step, .. } => {
+                p.extend(cell.params_mut());
+                p.extend(step.params_mut());
+            }
         }
         p
     }

@@ -93,6 +93,28 @@ pub fn class_weight(samples: &[PackedSample], mode: RetinaMode, lambda: f64) -> 
     WeightedBce::from_counts(total, pos, lambda)
 }
 
+/// Configured training driver: owns a [`TrainConfig`] and runs the
+/// class-weighted loop over any number of models. The [`train_retina`]
+/// free function is the single-shot form; `Trainer` is the entry point
+/// the experiment runners (and the `xtask` call-graph root set) use.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    pub config: TrainConfig,
+}
+
+impl Trainer {
+    /// Wrap a training configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Self { config }
+    }
+
+    /// Train `model` in place on `train`; returns the mean training loss
+    /// per epoch.
+    pub fn fit(&self, model: &mut Retina, train: &[PackedSample]) -> Vec<f64> {
+        train_retina(model, train, &self.config)
+    }
+}
+
 /// Train a RETINA model in place; returns the mean training loss per
 /// epoch (useful for convergence checks).
 pub fn train_retina(model: &mut Retina, train: &[PackedSample], config: &TrainConfig) -> Vec<f64> {
@@ -231,6 +253,20 @@ mod tests {
             },
         );
         assert!(losses.last().unwrap() < &losses[0], "{losses:?}");
+    }
+
+    #[test]
+    fn trainer_fit_matches_free_function() {
+        let data = toy_data(20, 4);
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::static_default()
+        };
+        let mut via_fn = Retina::new(12, RetinaConfig::static_default());
+        let losses_fn = train_retina(&mut via_fn, &data, &cfg);
+        let mut via_trainer = Retina::new(12, RetinaConfig::static_default());
+        let losses_tr = Trainer::new(cfg).fit(&mut via_trainer, &data);
+        assert_eq!(losses_fn, losses_tr, "Trainer::fit is the same loop");
     }
 
     #[test]

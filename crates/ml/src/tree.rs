@@ -232,7 +232,7 @@ impl Classifier for DecisionTree {
     }
 
     fn predict_proba(&self, x: &[f64]) -> f64 {
-        // lint: allow(unwrap) API contract: predict requires a prior fit
+        // lint: allow(unwrap) API contract: predict requires a prior fit; lint: allow(panic-reach) API contract, not a data-dependent failure
         let mut node = self.root.as_ref().expect("predict before fit");
         loop {
             match node {

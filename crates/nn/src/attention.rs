@@ -155,7 +155,7 @@ impl ExogenousAttention {
     /// `dq` and per-kernel accumulations sum over news items in index
     /// order — reductions, kept serial per the [`crate::par`] contract.
     pub fn backward(&mut self, grad_out: &Matrix) -> (Matrix, Vec<Matrix>) {
-        // lint: allow(unwrap) API contract: backward requires a prior forward
+        // lint: allow(unwrap) API contract: backward requires a prior forward; lint: allow(panic-reach) API contract, not a data-dependent failure
         let cache = self.cache.as_ref().expect("backward before forward");
         let batch = cache.xt.rows();
         let k = cache.attn.cols();

@@ -73,7 +73,7 @@ impl Dense {
         let x = self
             .cache_x
             .as_ref()
-            // lint: allow(unwrap) API contract: backward requires a prior forward
+            // lint: allow(unwrap) API contract: backward requires a prior forward; lint: allow(panic-reach) API contract, not a data-dependent failure
             .expect("backward called before forward");
         // dW = xᵀ · g ; db = Σ_rows g ; dx = g · Wᵀ
         x.t_matmul_into(grad_out, &mut tmp);

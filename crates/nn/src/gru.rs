@@ -102,15 +102,16 @@ impl Gru {
             }
         }
         let batch = xs[0].rows();
-        let mut hs = vec![self.pool.grab(batch, self.hidden)];
+        // `h_prev` is carried as an owned local and retired into `hs` via
+        // `mem::replace` each step — no `last().unwrap()` on the hot path.
+        let mut h_prev = self.pool.grab(batch, self.hidden);
+        let mut hs: Vec<Matrix> = Vec::with_capacity(xs.len() + 1);
         let mut zs = Vec::with_capacity(xs.len());
         let mut rs = Vec::with_capacity(xs.len());
         let mut h_hats = Vec::with_capacity(xs.len());
         let mut tmp = self.pool.grab(0, 0);
 
         for x in xs {
-            // lint: allow(unwrap) hs is seeded with the initial state above
-            let h_prev = hs.last().unwrap();
             // z = σ(x·Wz + h·Uz + bz)
             let mut z = self.pool.grab(0, 0);
             x.matmul_into(&self.wz.value, &mut z);
@@ -128,7 +129,7 @@ impl Gru {
             // ĥ = tanh(x·Wh + (r ⊙ h)·Uh + bh)
             let mut rh = self.pool.grab(0, 0);
             rh.copy_from(&r);
-            rh.hadamard_assign(h_prev);
+            rh.hadamard_assign(&h_prev);
             let mut h_hat = self.pool.grab(0, 0);
             x.matmul_into(&self.wh.value, &mut h_hat);
             rh.matmul_into(&self.uh.value, &mut tmp);
@@ -138,7 +139,7 @@ impl Gru {
             self.pool.recycle(rh);
             // h = (1−z) ⊙ h_prev + z ⊙ ĥ
             let mut h = self.pool.grab(0, 0);
-            h.copy_from(h_prev);
+            h.copy_from(&h_prev);
             h.zip_assign(&z, |hp, zv| (1.0 - zv) * hp);
             tmp.copy_from(&z);
             tmp.hadamard_assign(&h_hat);
@@ -147,8 +148,9 @@ impl Gru {
             zs.push(z);
             rs.push(r);
             h_hats.push(h_hat);
-            hs.push(h);
+            hs.push(std::mem::replace(&mut h_prev, h));
         }
+        hs.push(h_prev);
         self.pool.recycle(tmp);
         let out = hs[1..].to_vec();
         let mut xs_cache = Vec::with_capacity(xs.len());
@@ -175,7 +177,7 @@ impl Gru {
     /// preserving the exact floating-point grouping of the allocating
     /// formulation.
     pub fn backward(&mut self, grad_hs: &[Matrix]) -> Vec<Matrix> {
-        // lint: allow(unwrap) API contract: backward requires a prior forward
+        // lint: allow(unwrap) API contract: backward requires a prior forward; lint: allow(panic-reach) API contract, not a data-dependent failure
         let cache = self.cache.as_ref().expect("backward before forward");
         let t_len = cache.xs.len();
         assert_eq!(grad_hs.len(), t_len);

@@ -106,16 +106,17 @@ impl Lstm {
             }
         }
         let batch = xs[0].rows();
-        let mut hs = vec![self.pool.grab(batch, self.hidden)];
-        let mut cs = vec![self.pool.grab(batch, self.hidden)];
+        // `h_prev`/`c_prev` are carried as owned locals and retired into
+        // `hs`/`cs` via `mem::replace` each step — no `last().unwrap()`
+        // on the hot path.
+        let mut h_prev = self.pool.grab(batch, self.hidden);
+        let mut c_prev = self.pool.grab(batch, self.hidden);
+        let mut hs: Vec<Matrix> = Vec::with_capacity(xs.len() + 1);
+        let mut cs: Vec<Matrix> = Vec::with_capacity(xs.len() + 1);
         let (mut is_, mut fs, mut os, mut gs) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
         let mut tmp = self.pool.grab(0, 0);
 
         for x in xs {
-            // lint: allow(unwrap) hs is seeded with the initial state above
-            let h_prev = hs.last().unwrap();
-            // lint: allow(unwrap) cs is seeded with the initial state above
-            let c_prev = cs.last().unwrap();
             // gate = act(x·W + h·U + b), each on pooled scratch.
             let mut i = self.pool.grab(0, 0);
             x.matmul_into(&self.wi.value, &mut i);
@@ -144,7 +145,7 @@ impl Lstm {
             // c = f ⊙ c_prev + i ⊙ g
             let mut c = self.pool.grab(0, 0);
             c.copy_from(&f);
-            c.hadamard_assign(c_prev);
+            c.hadamard_assign(&c_prev);
             tmp.copy_from(&i);
             tmp.hadamard_assign(&g);
             c.add_assign(&tmp);
@@ -157,9 +158,11 @@ impl Lstm {
             fs.push(f);
             os.push(o);
             gs.push(g);
-            cs.push(c);
-            hs.push(h);
+            cs.push(std::mem::replace(&mut c_prev, c));
+            hs.push(std::mem::replace(&mut h_prev, h));
         }
+        hs.push(h_prev);
+        cs.push(c_prev);
         self.pool.recycle(tmp);
         let out = hs[1..].to_vec();
         let mut xs_cache = Vec::with_capacity(xs.len());
@@ -186,7 +189,7 @@ impl Lstm {
     /// computed into scratch then `add_assign`ed (never fused), keeping
     /// the floating-point grouping of the allocating formulation.
     pub fn backward(&mut self, grad_hs: &[Matrix]) -> Vec<Matrix> {
-        // lint: allow(unwrap) API contract: backward requires a prior forward
+        // lint: allow(unwrap) API contract: backward requires a prior forward; lint: allow(panic-reach) API contract, not a data-dependent failure
         let cache = self.cache.as_ref().expect("backward before forward");
         let t_len = cache.xs.len();
         assert_eq!(grad_hs.len(), t_len);

@@ -121,7 +121,7 @@ where
             scope.spawn(move |_| f(ci * chunk_len, chunk));
         }
     })
-    // lint: allow(unwrap) a worker panic must propagate, not be swallowed
+    // lint: allow(unwrap) a worker panic must propagate, not be swallowed; lint: allow(panic-reach) re-raises a worker panic, never introduces one
     .expect("parallel worker panicked");
 }
 
@@ -153,7 +153,7 @@ where
             scope.spawn(move |_| f(ci * rows_per, chunk));
         }
     })
-    // lint: allow(unwrap) a worker panic must propagate, not be swallowed
+    // lint: allow(unwrap) a worker panic must propagate, not be swallowed; lint: allow(panic-reach) re-raises a worker panic, never introduces one
     .expect("parallel worker panicked");
 }
 
@@ -171,7 +171,7 @@ where
             *slot = Some(f(start + off));
         }
     });
-    // lint: allow(unwrap) every slot is written exactly once above
+    // lint: allow(unwrap) every slot is written exactly once above; lint: allow(panic-reach) slot fill is proven by the chunk partition
     out.into_iter().map(|r| r.expect("slot filled")).collect()
 }
 
@@ -209,11 +209,11 @@ where
             });
         }
     })
-    // lint: allow(unwrap) a worker panic must propagate, not be swallowed
+    // lint: allow(unwrap) a worker panic must propagate, not be swallowed; lint: allow(panic-reach) re-raises a worker panic, never introduces one
     .expect("parallel worker panicked");
     slots
         .into_iter()
-        // lint: allow(unwrap) every index below n is claimed exactly once
+        // lint: allow(unwrap) every index below n is claimed exactly once; lint: allow(panic-reach) slot fill is proven by the cursor protocol
         .map(|m| m.into_inner().expect("slot filled"))
         .collect()
 }

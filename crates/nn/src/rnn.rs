@@ -61,19 +61,21 @@ impl SimpleRnn {
             }
         }
         let batch = xs[0].rows();
-        let mut hs = vec![self.pool.grab(batch, self.hidden)];
+        // `h_prev` is carried as an owned local and retired into `hs` via
+        // `mem::replace` each step — no `last().unwrap()` on the hot path.
+        let mut h_prev = self.pool.grab(batch, self.hidden);
+        let mut hs: Vec<Matrix> = Vec::with_capacity(xs.len() + 1);
         let mut tmp = self.pool.grab(0, 0);
         for x in xs {
-            // lint: allow(unwrap) hs is seeded with the initial state above
-            let h_prev = hs.last().unwrap();
             let mut h = self.pool.grab(0, 0);
             x.matmul_into(&self.w.value, &mut h);
             h_prev.matmul_into(&self.u.value, &mut tmp);
             h.add_assign(&tmp);
             h.add_row_broadcast_assign(&self.b.value);
             h.map_assign(f64::tanh);
-            hs.push(h);
+            hs.push(std::mem::replace(&mut h_prev, h));
         }
+        hs.push(h_prev);
         self.pool.recycle(tmp);
         let out = hs[1..].to_vec();
         let mut xs_cache = Vec::with_capacity(xs.len());
@@ -92,7 +94,7 @@ impl SimpleRnn {
     /// `add_assign`ed, preserving the allocating formulation's
     /// floating-point grouping.
     pub fn backward(&mut self, grad_hs: &[Matrix]) -> Vec<Matrix> {
-        // lint: allow(unwrap) API contract: backward requires a prior forward
+        // lint: allow(unwrap) API contract: backward requires a prior forward; lint: allow(panic-reach) API contract, not a data-dependent failure
         let cache = self.cache.as_ref().expect("backward before forward");
         let t_len = cache.xs.len();
         assert_eq!(grad_hs.len(), t_len);

@@ -87,7 +87,14 @@ pub fn parse_bench_lines(out: &str) -> Vec<BenchEntry> {
 /// `BENCH_kernels.json`. Only understands the exact shape
 /// [`render_json`] writes — which is all it ever needs to read.
 pub fn parse_baseline_section(json: &str) -> Vec<BenchEntry> {
-    let Some(start) = json.find("\"baseline\": {") else {
+    parse_section(json, "baseline")
+}
+
+/// Pull any named entry section (`baseline` / `current`) out of a
+/// previously rendered `BENCH_kernels.json`.
+pub fn parse_section(json: &str, title: &str) -> Vec<BenchEntry> {
+    let needle = format!("\"{title}\": {{");
+    let Some(start) = json.find(&needle) else {
         return Vec::new();
     };
     let mut entries = Vec::new();
@@ -102,6 +109,30 @@ pub fn parse_baseline_section(json: &str) -> Vec<BenchEntry> {
         entries.push(entry);
     }
     entries
+}
+
+/// Compare a fresh run against committed numbers: every row whose fresh
+/// mean exceeds the committed mean by more than `tolerance` (e.g. `0.15`
+/// = 15%) is a regression. Rows present on only one side are skipped —
+/// adding or retiring a benchmark is not a regression.
+pub fn regressions(committed: &[BenchEntry], fresh: &[BenchEntry], tolerance: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    for f in fresh {
+        let Some(c) = committed.iter().find(|c| c.name == f.name) else {
+            continue;
+        };
+        if c.mean_ns > 0.0 && f.mean_ns > c.mean_ns * (1.0 + tolerance) {
+            out.push(format!(
+                "{}: mean {:.3}µs vs committed {:.3}µs (+{:.1}%, tolerance {:.0}%)",
+                f.name,
+                f.mean_ns / 1e3,
+                c.mean_ns / 1e3,
+                (f.mean_ns / c.mean_ns - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    out
 }
 
 fn parse_entry_line(line: &str) -> Option<BenchEntry> {
@@ -227,5 +258,45 @@ mod tests {
     #[test]
     fn missing_baseline_section_parses_to_empty() {
         assert!(parse_baseline_section("{}").is_empty());
+    }
+
+    #[test]
+    fn current_section_parses_independently_of_baseline() {
+        let baseline = vec![BenchEntry {
+            name: "nn/matmul".into(),
+            mean_ns: 100.0,
+            min_ns: 90.0,
+            samples: 10,
+        }];
+        let current = vec![BenchEntry {
+            name: "nn/matmul".into(),
+            mean_ns: 50.0,
+            min_ns: 45.0,
+            samples: 10,
+        }];
+        let json = render_json(&baseline, &current);
+        assert_eq!(parse_section(&json, "current"), current);
+        assert_eq!(parse_section(&json, "baseline"), baseline);
+        assert!(parse_section(&json, "nonexistent").is_empty());
+    }
+
+    #[test]
+    fn regressions_flag_only_rows_beyond_tolerance() {
+        let entry = |name: &str, mean: f64| BenchEntry {
+            name: name.into(),
+            mean_ns: mean,
+            min_ns: mean,
+            samples: 10,
+        };
+        let committed = vec![
+            entry("a", 100.0),
+            entry("b", 100.0),
+            entry("retired", 100.0),
+        ];
+        let fresh = vec![entry("a", 114.0), entry("b", 116.0), entry("new", 9000.0)];
+        let regs = regressions(&committed, &fresh, 0.15);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].starts_with("b:"), "{regs:?}");
+        assert!(regs[0].contains("+16.0%"));
     }
 }

@@ -13,18 +13,22 @@
 //!       the lint
 //!
 //! The `analyze` subcommand runs the token-stream semantic passes
-//! (A1 shape-flow, A2 determinism, A3 cast-safety — see [`passes`]) with
+//! (A1 shape-flow, A2 determinism, A3 cast-safety, plus the
+//! call-graph-based A4 panic-reachability, A5 hot-loop allocation and
+//! A6 discarded-Result — see [`passes`], [`items`], [`callgraph`]) with
 //! SARIF 2.1.0 output ([`sarif`]) and a committed finding baseline
 //! ([`baseline`]).
 //!
 //! Violations can be suppressed in place with
 //! `// lint: allow(<key>) <reason>` where `<key>` is one of
 //! `unwrap`, `float-cmp`, `prob-guard`, `index` (lint) or `shape`,
-//! `determinism`, `lossy-cast`, `index-underflow` (analyze); the reason
-//! is required.
+//! `determinism`, `lossy-cast`, `index-underflow`, `panic-reach`,
+//! `hot-alloc`, `discard-result` (analyze); the reason is required.
 
 pub mod baseline;
 pub mod bench;
+pub mod callgraph;
+pub mod items;
 pub mod lexer;
 pub mod passes;
 pub mod rules;
@@ -412,5 +416,51 @@ mod tests {
                 .any(|(name, dot)| name == "model_graph.dot" && dot.contains("digraph retina")),
             "A1 produced no model-graph artifact"
         );
+        // The A4 pass rendered the hot-path call graph.
+        assert!(
+            report
+                .artifacts
+                .iter()
+                .any(|(name, dot)| name == "callgraph.dot" && dot.contains("digraph callgraph")),
+            "A4 produced no call-graph artifact"
+        );
+    }
+
+    #[test]
+    fn real_workspace_root_set_covers_the_hot_path() {
+        // Acceptance: the A4 root set is non-empty and covers
+        // Retina::forward, Trainer::fit, and every nn::par entry point.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_path_buf();
+        let ctx = passes::load_workspace(&root).expect("workspace loads");
+        let graph = callgraph::CallGraph::build(&ctx);
+        let roots = graph.hot_roots();
+        assert!(!roots.is_empty(), "empty hot-path root set");
+        let names: Vec<String> = roots
+            .iter()
+            .map(|&i| graph.index.fns[i].display())
+            .collect();
+        for expected in [
+            "core::Retina::forward",
+            "core::Retina::backward",
+            "core::Trainer::fit",
+            "core::train_retina",
+            "nn::for_each_chunk",
+            "nn::for_each_row_chunk",
+            "nn::map_indexed",
+            "nn::map_indexed_dynamic",
+            "nn::Gru::forward",
+            "nn::Lstm::backward",
+            "nn::Dense::forward",
+            "nn::ExogenousAttention::backward",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "root set missing {expected}: {names:?}"
+            );
+        }
     }
 }

@@ -1,7 +1,8 @@
 //! `cargo run -p xtask -- lint [--fix-inventory]`
 //! `cargo run -p xtask -- analyze [--format text|json|sarif] [--baseline]
-//!                                [--update-baseline] [--emit-dot <path>]`
-//! `cargo run -p xtask -- bench-report`
+//!                                [--update-baseline] [--emit-dot <path>]
+//!                                [--emit-callgraph <path>]`
+//! `cargo run -p xtask -- bench-report [--check]`
 //!
 //! `lint` exits nonzero when any R1–R4 violation (or malformed
 //! allow-comment) is found. The R5 open-marker (todo/fixme) inventory
@@ -10,13 +11,20 @@
 //! items.
 //!
 //! `analyze` runs the semantic passes (A1 shape-flow, A2 determinism,
-//! A3 cast-safety) over the workspace and exits nonzero when any
+//! A3 cast-safety, A4 panic-reachability, A5 hot-loop allocation, A6
+//! discarded-Result) over the workspace and exits nonzero when any
 //! non-baselined warning/error-severity finding remains.
+//! `--emit-dot` writes the A1 model graph; `--emit-callgraph` writes
+//! the A4 hot-path call graph (`docs/callgraph.dot` is the committed
+//! rendering).
 //!
 //! `bench-report` runs the substrates criterion benchmark and rewrites
 //! `BENCH_kernels.json` at the workspace root. The first run seeds the
 //! `baseline` section; later runs keep it and refresh `current`, plus a
-//! per-benchmark `speedup_vs_baseline` summary.
+//! per-benchmark `speedup_vs_baseline` summary. With `--check` the file
+//! is left untouched: the fresh run is compared against the committed
+//! `current` section and the command fails on any kernel row more than
+//! 15% slower (CI hooks this behind `RETINA_BENCH_CHECK=1`).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -27,8 +35,9 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: cargo run -p xtask -- lint [--fix-inventory]\n       \
              cargo run -p xtask -- analyze [--format text|json|sarif] \
-             [--baseline] [--update-baseline] [--emit-dot <path>]\n       \
-             cargo run -p xtask -- bench-report"
+             [--baseline] [--update-baseline] [--emit-dot <path>] \
+             [--emit-callgraph <path>]\n       \
+             cargo run -p xtask -- bench-report [--check]"
         );
         return ExitCode::from(2);
     };
@@ -52,7 +61,18 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
-        "bench-report" => run_bench_report(),
+        "bench-report" => {
+            let check = args.iter().any(|a| a == "--check");
+            let unknown: Vec<&String> = args[1..]
+                .iter()
+                .filter(|a| a.as_str() != "--check")
+                .collect();
+            if !unknown.is_empty() {
+                eprintln!("unknown bench-report option(s): {unknown:?}");
+                return ExitCode::from(2);
+            }
+            run_bench_report(check)
+        }
         other => {
             eprintln!(
                 "unknown subcommand `{other}`; expected `lint`, `analyze`, or `bench-report`"
@@ -94,7 +114,11 @@ fn run_lint(json: bool) -> ExitCode {
 /// Name of the committed benchmark report at the workspace root.
 const BENCH_REPORT_FILE: &str = "BENCH_kernels.json";
 
-fn run_bench_report() -> ExitCode {
+/// Fractional slowdown tolerated by `bench-report --check` before a
+/// kernel row counts as a regression.
+const BENCH_CHECK_TOLERANCE: f64 = 0.15;
+
+fn run_bench_report(check: bool) -> ExitCode {
     let root = workspace_root();
     eprintln!("running `cargo bench -p bench --bench substrates` (this builds in release)...");
     let out = match std::process::Command::new("cargo")
@@ -123,6 +147,52 @@ fn run_bench_report() -> ExitCode {
     }
 
     let path = root.join(BENCH_REPORT_FILE);
+    if check {
+        // Regression gate: compare the fresh run against the committed
+        // `current` numbers; never rewrite the file.
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(existing) => xtask::bench::parse_section(&existing, "current"),
+            Err(e) => {
+                eprintln!("--check needs a committed {BENCH_REPORT_FILE}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if committed.is_empty() {
+            eprintln!("--check found no `current` entries in {BENCH_REPORT_FILE}");
+            return ExitCode::from(2);
+        }
+        let regs = xtask::bench::regressions(&committed, &current, BENCH_CHECK_TOLERANCE);
+        for entry in &current {
+            let vs = committed
+                .iter()
+                .find(|c| c.name == entry.name)
+                .map(|c| {
+                    format!(
+                        "  ({:+.1}% vs committed)",
+                        (entry.mean_ns / c.mean_ns - 1.0) * 100.0
+                    )
+                })
+                .unwrap_or_else(|| "  (no committed row)".into());
+            println!(
+                "bench {:<50} mean {:>12.3}µs{vs}",
+                entry.name,
+                entry.mean_ns / 1e3
+            );
+        }
+        return if regs.is_empty() {
+            eprintln!(
+                "bench check passed: no row regressed more than {:.0}%",
+                BENCH_CHECK_TOLERANCE * 100.0
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("bench check FAILED — {} regression(s):", regs.len());
+            for r in &regs {
+                eprintln!("  {r}");
+            }
+            ExitCode::FAILURE
+        };
+    }
     // A pre-existing report pins the baseline; the very first run seeds
     // it from the fresh numbers (speedup 1.00 across the board).
     let baseline = match std::fs::read_to_string(&path) {
@@ -163,6 +233,7 @@ struct AnalyzeOpts {
     use_baseline: bool,
     update_baseline: bool,
     emit_dot: Option<String>,
+    emit_callgraph: Option<String>,
 }
 
 enum Format {
@@ -178,6 +249,7 @@ impl AnalyzeOpts {
             use_baseline: false,
             update_baseline: false,
             emit_dot: None,
+            emit_callgraph: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -197,6 +269,13 @@ impl AnalyzeOpts {
                 "--emit-dot" => {
                     opts.emit_dot =
                         Some(it.next().ok_or("--emit-dot expects a file path")?.clone());
+                }
+                "--emit-callgraph" => {
+                    opts.emit_callgraph = Some(
+                        it.next()
+                            .ok_or("--emit-callgraph expects a file path")?
+                            .clone(),
+                    );
                 }
                 other => return Err(format!("unknown analyze option `{other}`")),
             }
@@ -256,6 +335,26 @@ fn run_analyze(opts: &AnalyzeOpts) -> ExitCode {
             }
             None => {
                 eprintln!("no model-graph artifact produced (A1 found no model file)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(path) = &opts.emit_callgraph {
+        match report
+            .artifacts
+            .iter()
+            .find(|(name, _)| name == "callgraph.dot")
+        {
+            Some((_, dot)) => {
+                if let Err(e) = std::fs::write(path, dot) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                eprintln!("wrote hot-path call graph to {path}");
+            }
+            None => {
+                eprintln!("no call-graph artifact produced (A4 emitted nothing)");
                 return ExitCode::from(2);
             }
         }

@@ -15,14 +15,29 @@
 //! - **A3 cast-safety** (`cast_safety`): lossy narrowing `as` casts and
 //!   unchecked `usize` subtraction in index arithmetic in the
 //!   `ml`/`nn`/`diffusion` kernels.
+//! - **A4 panic-reachability** (`panic_reach`): builds the workspace
+//!   call graph ([`crate::callgraph`]) and reports `unwrap`/`expect`/
+//!   `panic!` and unguarded indexing in every fn reachable from the
+//!   hot-path roots, with the shortest call chain; emits the
+//!   `callgraph.dot` artifact.
+//! - **A5 hot-loop allocation** (`hot_alloc`): allocation-shaped calls
+//!   (`Vec::new`/`vec!`/`to_vec`/`clone`/`collect`/`String::from`)
+//!   inside loops of hot-path-reachable functions.
+//! - **A6 discarded-Result** (`result_discard`): `let _ =` and
+//!   bare-statement discards of fallible APIs, workspace-wide.
 //!
 //! Findings carry a severity; `Error` and `Warning` fail the run,
 //! `Note` never does. Suppression uses the same allow-comment machinery
 //! as the lint: `// lint: allow(<key>) <reason>` with the pass-specific
-//! keys `shape`, `determinism`, `lossy-cast`, `index-underflow`.
+//! keys `shape`, `determinism`, `lossy-cast`, `index-underflow`,
+//! `panic-reach`, `hot-alloc`, `discard-result`. A reasonless allow for
+//! the A4/A5 keys is itself an Error (rule `allow`).
 
 pub mod cast_safety;
 pub mod determinism;
+pub mod hot_alloc;
+pub mod panic_reach;
+pub mod result_discard;
 pub mod shape_flow;
 
 use crate::lexer::{self, Token};
@@ -150,6 +165,9 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(shape_flow::ShapeFlow),
         Box::new(determinism::Determinism),
         Box::new(cast_safety::CastSafety),
+        Box::new(panic_reach::PanicReach),
+        Box::new(hot_alloc::HotAlloc),
+        Box::new(result_discard::ResultDiscard),
     ]
 }
 
@@ -219,10 +237,10 @@ impl AnalysisReport {
     }
 }
 
-/// Run every registered pass over the workspace at `root`. Reuses the
-/// lint's file walker (library sources only; vendor/, tests/, benches/
-/// are out of scope).
-pub fn analyze_workspace(root: &Path) -> std::io::Result<AnalysisReport> {
+/// Read and lex every library source under `root` into a pass context.
+/// Reuses the lint's file walker (library sources only; vendor/,
+/// tests/, benches/ are out of scope).
+pub fn load_workspace(root: &Path) -> std::io::Result<Context> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -250,7 +268,12 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<AnalysisReport> {
         let tokens = lexer::lex(&source);
         analyzed.push(AnalyzedFile { source, tokens });
     }
-    let ctx = Context { files: analyzed };
+    Ok(Context { files: analyzed })
+}
+
+/// Run every registered pass over the workspace at `root`.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<AnalysisReport> {
+    let ctx = load_workspace(root)?;
 
     let mut report = AnalysisReport {
         files_scanned: ctx.files.len(),

@@ -90,8 +90,8 @@ mod tests {
         assert!(s.contains("\"startLine\": 7"));
         assert!(s.contains("\\\"quotes\\\""));
         assert!(s.contains("rules"));
-        // All three registered passes appear in the rule catalogue.
-        for id in ["A1", "A2", "A3"] {
+        // Every registered pass appears in the rule catalogue.
+        for id in ["A1", "A2", "A3", "A4", "A5", "A6"] {
             assert!(
                 s.contains(&format!("\"id\": \"{id}\"")),
                 "missing rule {id}"

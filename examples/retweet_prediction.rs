@@ -46,7 +46,7 @@ fn main() {
         .collect();
     let d_user = packed_train[0].user_rows[0].len();
 
-    let mut evaluate = |name: &str, mode: RetinaMode, exo: bool| {
+    let evaluate = |name: &str, mode: RetinaMode, exo: bool| {
         let cfg = RetinaConfig {
             mode,
             use_exogenous: exo,
