@@ -33,6 +33,13 @@ cargo build --release
 step "cargo test"
 cargo test -q
 
+step "serving load-harness smoke"
+# Tiny request counts — proves the snapshot + batched-server path works
+# end to end (build snapshot, start workers, drain under load). Full
+# numbers come from `cargo run -p xtask -- serving-report` (see
+# BENCH_serving.json).
+cargo run --release -p bench --bin retina_serve -- bench --smoke
+
 step "criterion smoke (bench --test)"
 # One sample per benchmark — proves the bench suite still compiles and
 # every routine runs, without paying for real measurements. Full numbers
@@ -45,6 +52,12 @@ if [[ "${RETINA_BENCH_CHECK:-0}" == "1" ]]; then
     # BENCH_kernels.json `current` section; fails on any kernel row more
     # than 15% slower. Opt-in (slow, and noisy on loaded machines).
     cargo run -p xtask -- bench-report --check
+
+    step "serving regression check"
+    # Full load run compared against the committed BENCH_serving.json
+    # `current` section; fails on a >15% throughput drop or a >25% p99
+    # latency rise on any scenario.
+    cargo run -p xtask -- serving-report --check
 fi
 
 if [[ "${1:-}" == "--sanitize" ]]; then

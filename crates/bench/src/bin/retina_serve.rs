@@ -1,0 +1,270 @@
+//! Prediction-server tooling: snapshot generation and a synthetic load
+//! harness for the batched serving path.
+//!
+//! ```text
+//! cargo run --release -p bench --bin retina_serve -- snapshot <path>
+//! cargo run --release -p bench --bin retina_serve -- serve <path> [--smoke]
+//! cargo run --release -p bench --bin retina_serve -- bench [--smoke]
+//! ```
+//!
+//! `snapshot` trains a small deterministic model and writes it (with
+//! its text pipeline and trainer config) to `<path>`. `serve` loads a
+//! snapshot and drives the standard load scenarios against it. `bench`
+//! does the same against an in-memory snapshot and is what
+//! `cargo run -p xtask -- serving-report` shells out to; its
+//! measurement lines have the machine-readable shape
+//!
+//! ```text
+//! serving <scenario> pps <f64>  p50 <dur>  p99 <dur>  (<n> requests)
+//! ```
+//!
+//! `--smoke` shrinks the request counts for CI wiring checks; the
+//! committed `BENCH_serving.json` numbers come from full runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retina_core::retina::{PackedSample, Retina, RetinaConfig};
+use retina_core::snapshot::{PipelineState, Snapshot};
+use retina_core::trainer::{train_retina, TrainConfig};
+use serving::{PredictRequest, PredictionServer, ServerConfig, SubmitError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const D_USER: usize = 12;
+const D2V: usize = 50;
+const NEWS_K: usize = 8;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    match args.first().map(String::as_str) {
+        Some("snapshot") => {
+            let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
+                eprintln!("usage: retina_serve snapshot <path>");
+                std::process::exit(2);
+            };
+            let snap = build_snapshot();
+            if let Err(e) = snap.save(path.as_ref()) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "wrote {path}: d_user={} sections=config+weights{}{}{}",
+                snap.d_user,
+                if snap.has_scaler() { "+scaler" } else { "" },
+                if snap.pipeline.is_some() {
+                    "+pipeline"
+                } else {
+                    ""
+                },
+                if snap.trainer.is_some() {
+                    "+trainer"
+                } else {
+                    ""
+                },
+            );
+        }
+        Some("serve") => {
+            let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
+                eprintln!("usage: retina_serve serve <path> [--smoke]");
+                std::process::exit(2);
+            };
+            let snap = match Snapshot::load(path.as_ref()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("failed to load {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            eprintln!("loaded {path} (d_user={})", snap.d_user);
+            run_scenarios(&snap, smoke);
+        }
+        Some("bench") => {
+            let snap = build_snapshot();
+            run_scenarios(&snap, smoke);
+        }
+        _ => {
+            eprintln!(
+                "usage: retina_serve snapshot <path>\n       \
+                 retina_serve serve <path> [--smoke]\n       \
+                 retina_serve bench [--smoke]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Deterministic synthetic sample, mirroring the packed-tensor shape
+/// the feature extractor produces.
+fn sample(n: usize, seed: u64) -> PackedSample {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels: Vec<u8> = (0..n).map(|i| u8::from(i % 3 == 0)).collect();
+    PackedSample {
+        user_rows: (0..n)
+            .map(|_| (0..D_USER).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect(),
+        interval_labels: labels
+            .iter()
+            .map(|&l| {
+                let mut row = vec![0u8; 6];
+                if l == 1 {
+                    row[1] = 1;
+                }
+                row
+            })
+            .collect(),
+        retweet_times: labels
+            .iter()
+            .map(|&l| if l == 1 { 2.0 } else { f64::INFINITY })
+            .collect(),
+        labels,
+        tweet_d2v: (0..D2V).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        news_d2v: (0..NEWS_K)
+            .map(|_| (0..D2V).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect(),
+        hateful: false,
+        t0: 0.0,
+    }
+}
+
+/// Train the harness model: small enough to build in seconds, large
+/// enough that a batch of predictions is real work.
+fn build_snapshot() -> Snapshot {
+    let config = RetinaConfig {
+        hdim: 32,
+        news_k: NEWS_K,
+        ..RetinaConfig::static_default()
+    };
+    let mut model = Retina::new(D_USER, config);
+    let data: Vec<PackedSample> = (0..12).map(|i| sample(10, 300 + i)).collect();
+    let cfg = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::static_default()
+    };
+    train_retina(&mut model, &data, &cfg);
+    let corpus = [
+        "they spread hate online",
+        "kind words travel further",
+        "topic aware diffusion of posts",
+    ];
+    let tfidf = text::TfIdfVectorizer::fit(&corpus, text::TfIdfConfig::default());
+    Snapshot::capture(&model)
+        .with_pipeline(PipelineState {
+            tweet_tfidf: tfidf.clone(),
+            news_tfidf: tfidf,
+            lexicon: text::HateLexicon::new(&["slur", "go back"]),
+        })
+        .with_trainer(cfg)
+}
+
+struct Scenario {
+    name: &'static str,
+    workers: usize,
+    max_batch: usize,
+    submitters: usize,
+}
+
+const SCENARIOS: [Scenario; 3] = [
+    // Latency floor: one worker, no batching, one submitter.
+    Scenario {
+        name: "serve/static_w1_b1",
+        workers: 1,
+        max_batch: 1,
+        submitters: 1,
+    },
+    // The intended operating point: batching with a couple of workers.
+    Scenario {
+        name: "serve/static_w2_b16",
+        workers: 2,
+        max_batch: 16,
+        submitters: 4,
+    },
+    // Saturation: more submitters than workers, deep batches.
+    Scenario {
+        name: "serve/static_w4_b32",
+        workers: 4,
+        max_batch: 32,
+        submitters: 8,
+    },
+];
+
+fn run_scenarios(snapshot: &Snapshot, smoke: bool) {
+    let requests_per_scenario: u64 = if smoke { 200 } else { 4000 };
+    for sc in &SCENARIOS {
+        run_scenario(snapshot, sc, requests_per_scenario);
+    }
+}
+
+fn run_scenario(snapshot: &Snapshot, sc: &Scenario, n_requests: u64) {
+    let config = ServerConfig {
+        workers: sc.workers,
+        queue_capacity: 128,
+        max_batch: sc.max_batch,
+        max_delay: Duration::from_millis(1),
+    };
+    let server = Arc::new(PredictionServer::start(snapshot, config).expect("start server"));
+
+    // Warmup: fill scratch buffers and fault in the model replicas.
+    for id in 0..32 {
+        submit_blocking(&server, request(id)).wait();
+    }
+
+    // Timed window: `submitters` threads, each a strided share of the
+    // id space, submit-and-wait in a closed loop.
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let job_latencies = Arc::clone(&latencies);
+    let job_server = Arc::clone(&server);
+    let lanes = sc.submitters;
+    let started = Instant::now();
+    let pool = nn::par::WorkerPool::spawn(lanes, "load", move |lane| {
+        let mut local = Vec::new();
+        for id in ((lane as u64)..n_requests).step_by(lanes) {
+            let t0 = Instant::now();
+            submit_blocking(&job_server, request(id)).wait();
+            local.push(t0.elapsed().as_nanos() as u64);
+        }
+        job_latencies.lock().unwrap().extend(local);
+    })
+    .expect("spawn load threads");
+    pool.join();
+    let wall = started.elapsed();
+
+    let stats = match Arc::try_unwrap(server) {
+        Ok(s) => s.shutdown(),
+        Err(_) => unreachable!("all submitter clones joined"),
+    };
+    assert_eq!(
+        stats.completed, stats.accepted,
+        "harness lost requests: {stats:?}"
+    );
+
+    let mut lat = latencies.lock().unwrap().clone();
+    assert_eq!(lat.len() as u64, n_requests, "missing latency samples");
+    lat.sort_unstable();
+    let p50 = Duration::from_nanos(lat[lat.len() / 2]);
+    let p99 = Duration::from_nanos(lat[(lat.len() as f64 * 0.99) as usize - 1]);
+    let pps = n_requests as f64 / wall.as_secs_f64();
+    println!(
+        "serving {:<24} pps {:.1}  p50 {:?}  p99 {:?}  ({} requests)",
+        sc.name, pps, p50, p99, n_requests
+    );
+}
+
+fn request(id: u64) -> PredictRequest {
+    PredictRequest {
+        id,
+        sample: sample(8, 7000 + id),
+    }
+}
+
+/// Submit with backpressure handling: sleep out the server's
+/// retry-after hint and try again.
+fn submit_blocking(server: &PredictionServer, req: PredictRequest) -> serving::Ticket {
+    loop {
+        match server.submit(req.clone()) {
+            Ok(t) => return t,
+            Err(SubmitError::QueueFull { retry_after, .. }) => std::thread::sleep(retry_after),
+            Err(e) => panic!("submit failed: {e}"),
+        }
+    }
+}

@@ -28,10 +28,12 @@ pub mod features;
 pub mod hategen;
 pub mod retina;
 pub mod seed;
+pub mod snapshot;
 pub mod trainer;
 
 pub use detector::HateDetector;
 pub use features::{FeatureGroup, HategenFeatures, RetweetFeatures, TextModels};
 pub use hategen::{HategenPipeline, HategenSample, ModelKind, Processing};
 pub use retina::{RecurrentKind, Retina, RetinaConfig, RetinaMode};
+pub use snapshot::{PipelineState, Snapshot, SnapshotError};
 pub use trainer::{TrainConfig, Trainer};

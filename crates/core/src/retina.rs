@@ -125,6 +125,14 @@ impl RecurrentCell {
             RecurrentCell::Rnn(c) => c.params_mut(),
         }
     }
+
+    fn params(&self) -> Vec<&Param> {
+        match self {
+            RecurrentCell::Gru(c) => c.params(),
+            RecurrentCell::Lstm(c) => c.params(),
+            RecurrentCell::Rnn(c) => c.params(),
+        }
+    }
 }
 
 /// A packed training/evaluation sample: everything RETINA needs for one
@@ -446,6 +454,38 @@ impl Retina {
             }
         }
         p
+    }
+
+    /// Shared view of all trainable parameters, in the same order as
+    /// [`Retina::params_mut`] (used by the snapshot writer).
+    pub fn params(&self) -> Vec<&Param> {
+        let mut p = self.user_dense.params();
+        if let Some(att) = self.attention.as_ref() {
+            p.extend(att.params());
+        }
+        match &self.head {
+            Head::Static(out) => p.extend(out.params()),
+            Head::Dynamic { cell, step, .. } => {
+                p.extend(cell.params());
+                p.extend(step.params());
+            }
+        }
+        p
+    }
+
+    /// Input dimensionality of the candidate feature rows.
+    pub fn d_user(&self) -> usize {
+        self.user_dense.in_dim()
+    }
+
+    /// The fitted input scaler, if training has run (snapshot capture).
+    pub(crate) fn scaler(&self) -> Option<&StandardScaler> {
+        self.scaler.as_ref()
+    }
+
+    /// Install a previously fitted input scaler (snapshot restore).
+    pub(crate) fn set_scaler(&mut self, scaler: Option<StandardScaler>) {
+        self.scaler = scaler;
     }
 
     /// Static probabilities per candidate. In dynamic mode, the static

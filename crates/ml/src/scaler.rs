@@ -44,6 +44,28 @@ impl StandardScaler {
         let t = s.transform(x);
         (s, t)
     }
+
+    /// Per-column means of the fit (snapshot serialization).
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-column standard deviations of the fit (snapshot
+    /// serialization). Constant columns were already clamped to 1 by
+    /// [`StandardScaler::fit`].
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Rebuild a scaler from previously exported statistics. Returns
+    /// `None` when the two vectors disagree in length (a malformed
+    /// snapshot, never a fit result).
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Option<Self> {
+        if means.len() != stds.len() {
+            return None;
+        }
+        Some(Self { means, stds })
+    }
 }
 
 #[cfg(test)]

@@ -261,6 +261,12 @@ impl ExogenousAttention {
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.wq, &mut self.wk, &mut self.wv]
     }
+
+    /// Shared view of the trainable parameters, in the same order as
+    /// [`ExogenousAttention::params_mut`] (used by the snapshot writer).
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.wq, &self.wk, &self.wv]
+    }
 }
 
 #[cfg(test)]

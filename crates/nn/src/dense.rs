@@ -88,6 +88,12 @@ impl Dense {
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.w, &mut self.b]
     }
+
+    /// Shared view of the trainable parameters, in the same order as
+    /// [`Dense::params_mut`] (used by the snapshot writer).
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.b]
+    }
 }
 
 #[cfg(test)]

@@ -288,6 +288,15 @@ impl Gru {
             &mut self.bh,
         ]
     }
+
+    /// Shared view of the trainable parameters, in the same order as
+    /// [`Gru::params_mut`] (used by the snapshot writer).
+    pub fn params(&self) -> Vec<&Param> {
+        vec![
+            &self.wz, &self.uz, &self.bz, &self.wr, &self.ur, &self.br, &self.wh, &self.uh,
+            &self.bh,
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -304,6 +304,15 @@ impl Lstm {
             &mut self.bg,
         ]
     }
+
+    /// Shared view of the trainable parameters, in the same order as
+    /// [`Lstm::params_mut`] (used by the snapshot writer).
+    pub fn params(&self) -> Vec<&Param> {
+        vec![
+            &self.wi, &self.ui, &self.bi, &self.wf, &self.uf, &self.bf, &self.wo, &self.uo,
+            &self.bo, &self.wg, &self.ug, &self.bg,
+        ]
+    }
 }
 
 #[cfg(test)]

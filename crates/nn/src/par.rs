@@ -218,6 +218,72 @@ where
         .collect()
 }
 
+/// A pool of long-lived named worker threads — the sanctioned way to run
+/// *service* workers (e.g. the `serving` crate's batch predictors) that
+/// outlive a single parallel region, which the scoped helpers above
+/// cannot express.
+///
+/// The determinism contract of this module still applies: each worker's
+/// job must produce outputs disjoint from every other worker's (in the
+/// serving crate, each worker fulfils the per-request slots of requests
+/// it alone dequeued), so the worker count changes throughput only,
+/// never any produced value.
+///
+/// Workers run `job(worker_index)` exactly once, to completion; a
+/// long-running worker loops inside its job until an external shutdown
+/// signal. [`WorkerPool::join`] blocks until every worker returns and
+/// re-raises the first worker panic on the joining thread.
+pub struct WorkerPool {
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `n_workers.max(1)` threads named `<name>-<index>` running
+    /// `job(index)`. Returns an error only if the OS refuses to spawn a
+    /// thread (already-spawned workers keep running and are joined by
+    /// [`WorkerPool::join`] as usual).
+    pub fn spawn<F>(n_workers: usize, name: &str, job: F) -> std::io::Result<Self>
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        let job = std::sync::Arc::new(job);
+        let mut handles = Vec::with_capacity(n_workers.max(1));
+        for i in 0..n_workers.max(1) {
+            let job = std::sync::Arc::clone(&job);
+            let handle = std::thread::Builder::new()
+                .name(format!("{name}-{i}"))
+                .spawn(move || job(i))?;
+            handles.push(handle);
+        }
+        Ok(Self { handles })
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True when the pool holds no workers (only possible after `join`
+    /// consumed it, so never observable through this handle).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Wait for every worker to finish. A worker panic is re-raised here,
+    /// never swallowed (matching the scoped helpers above).
+    pub fn join(self) {
+        let mut first_panic = None;
+        for h in self.handles {
+            if let Err(payload) = h.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +352,39 @@ mod tests {
         let mut data: Vec<u8> = Vec::new();
         for_each_chunk(&mut data, 4, |_, _| panic!("must not be called"));
         assert!(map_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn worker_pool_runs_every_worker_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let hits = Arc::new([(); 4].map(|()| AtomicUsize::new(0)));
+        let pool = {
+            let hits = Arc::clone(&hits);
+            WorkerPool::spawn(4, "pool-test", move |i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("spawn")
+        };
+        assert_eq!(pool.len(), 4);
+        pool.join();
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "worker {i}");
+        }
+    }
+
+    #[test]
+    fn worker_pool_join_reraises_worker_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            let pool = WorkerPool::spawn(2, "pool-panic", |i| {
+                if i == 1 {
+                    panic!("boom");
+                }
+            })
+            .expect("spawn");
+            pool.join();
+        });
+        assert!(caught.is_err());
     }
 
     #[test]

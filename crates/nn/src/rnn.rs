@@ -132,6 +132,12 @@ impl SimpleRnn {
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.w, &mut self.u, &mut self.b]
     }
+
+    /// Shared view of the trainable parameters, in the same order as
+    /// [`SimpleRnn::params_mut`] (used by the snapshot writer).
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.u, &self.b]
+    }
 }
 
 #[cfg(test)]

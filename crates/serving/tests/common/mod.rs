@@ -1,0 +1,80 @@
+//! Shared builders for the serving test suite: deterministic samples
+//! and randomized-but-seeded model configurations.
+#![allow(dead_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use retina_core::retina::{PackedSample, RecurrentKind, RetinaConfig, RetinaMode};
+
+/// A deterministic packed sample: `n` candidates of width `d_user`,
+/// Doc2Vec width `d2v`, `k` news items. Same `(dims, seed)` → same
+/// sample, bit for bit.
+pub fn sample(n: usize, d_user: usize, d2v: usize, k: usize, seed: u64) -> PackedSample {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels: Vec<u8> = (0..n).map(|i| u8::from(i % 3 == 0)).collect();
+    let retweet_times: Vec<f64> = labels
+        .iter()
+        .map(|&l| if l == 1 { 2.0 } else { f64::INFINITY })
+        .collect();
+    PackedSample {
+        user_rows: (0..n)
+            .map(|_| (0..d_user).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect(),
+        labels: labels.clone(),
+        interval_labels: labels
+            .iter()
+            .map(|&l| {
+                let mut row = vec![0u8; 6];
+                if l == 1 {
+                    row[1] = 1;
+                }
+                row
+            })
+            .collect(),
+        tweet_d2v: (0..d2v).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        news_d2v: (0..k)
+            .map(|_| (0..d2v).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect(),
+        hateful: false,
+        t0: 0.0,
+        retweet_times,
+    }
+}
+
+/// Draw a randomized model shape from a seeded RNG: `(d_user, config)`.
+/// Covers both modes, both attention settings, and all recurrent cells.
+pub fn random_config(rng: &mut StdRng) -> (usize, RetinaConfig) {
+    let d_user = rng.gen_range(3..16);
+    let mode = if rng.gen_bool(0.5) {
+        RetinaMode::Static
+    } else {
+        RetinaMode::Dynamic
+    };
+    let recurrent = match rng.gen_range(0..3) {
+        0 => RecurrentKind::Gru,
+        1 => RecurrentKind::Lstm,
+        _ => RecurrentKind::SimpleRnn,
+    };
+    let n_intervals = rng.gen_range(2..6);
+    let mut intervals: Vec<f64> = (0..n_intervals - 1)
+        .map(|i| (i as f64 + 1.0) * rng.gen_range(1.0..4.0))
+        .collect();
+    intervals.push(f64::INFINITY);
+    let config = RetinaConfig {
+        mode,
+        use_exogenous: rng.gen_bool(0.7),
+        hdim: [4, 8, 16][rng.gen_range(0..3)],
+        news_k: rng.gen_range(1..5),
+        d2v_dim: [8, 12][rng.gen_range(0..2)],
+        intervals,
+        recurrent,
+        seed: rng.next_u64(),
+        threads: 0,
+    };
+    (d_user, config)
+}
+
+/// Bit-pattern view of a probability vector, for exact comparisons.
+pub fn bits(p: &[f64]) -> Vec<u64> {
+    p.iter().map(|x| x.to_bits()).collect()
+}

@@ -142,6 +142,54 @@ impl TfIdfVectorizer {
         }
     }
 
+    /// The configuration this vectorizer was fit with.
+    pub fn config(&self) -> &TfIdfConfig {
+        &self.config
+    }
+
+    /// Decompose into serializable parts: the vocabulary, per-id IDF
+    /// values, selected feature ids (output-dimension order), and config.
+    /// `dim_of` is derivable from `selected` and is not exported.
+    pub fn to_parts(&self) -> (&Vocabulary, &[f64], &[usize], &TfIdfConfig) {
+        (&self.vocab, &self.idf, &self.selected, &self.config)
+    }
+
+    /// Rebuild a fitted vectorizer from parts produced by
+    /// [`TfIdfVectorizer::to_parts`]. Returns `None` when the parts are
+    /// inconsistent (IDF length differs from the vocabulary, or a selected
+    /// id is out of range / out of order) — a malformed snapshot, never a
+    /// fit result.
+    pub fn from_parts(
+        vocab: Vocabulary,
+        idf: Vec<f64>,
+        selected: Vec<usize>,
+        config: TfIdfConfig,
+    ) -> Option<Self> {
+        if idf.len() != vocab.len() {
+            return None;
+        }
+        // `fit_tokenized` leaves `selected` sorted ascending (therefore
+        // also duplicate-free) and in-range; require the same here.
+        if selected.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        if selected.last().is_some_and(|&id| id >= vocab.len()) {
+            return None;
+        }
+        let dim_of: HashMap<usize, usize> = selected
+            .iter()
+            .enumerate()
+            .map(|(d, &id)| (id, d))
+            .collect();
+        Some(Self {
+            vocab,
+            idf,
+            selected,
+            dim_of,
+            config,
+        })
+    }
+
     /// Tokenize a raw string into the feature-token universe.
     pub fn feature_tokens(doc: &str, use_bigrams: bool) -> Vec<String> {
         if use_bigrams {
@@ -363,6 +411,52 @@ mod tests {
         for d in 0..v.dim() {
             assert!((avg[d] - (xa[d] + xb[d]) / 2.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_transform() {
+        let v = TfIdfVectorizer::fit(&small_corpus(), TfIdfConfig::default());
+        let (vocab, idf, selected, config) = v.to_parts();
+        let r = TfIdfVectorizer::from_parts(
+            vocab.clone(),
+            idf.to_vec(),
+            selected.to_vec(),
+            config.clone(),
+        )
+        .unwrap();
+        let doc = "cat sat dog ran";
+        assert_eq!(v.transform(doc), r.transform(doc));
+        assert_eq!(v.dim(), r.dim());
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_parts() {
+        let v = TfIdfVectorizer::fit(&small_corpus(), TfIdfConfig::default());
+        let (vocab, idf, selected, config) = v.to_parts();
+        // IDF length mismatch.
+        assert!(TfIdfVectorizer::from_parts(
+            vocab.clone(),
+            idf[1..].to_vec(),
+            selected.to_vec(),
+            config.clone(),
+        )
+        .is_none());
+        // Selected id out of range.
+        assert!(TfIdfVectorizer::from_parts(
+            vocab.clone(),
+            idf.to_vec(),
+            vec![vocab.len()],
+            config.clone(),
+        )
+        .is_none());
+        // Unsorted selection.
+        assert!(TfIdfVectorizer::from_parts(
+            vocab.clone(),
+            idf.to_vec(),
+            vec![1, 0],
+            config.clone(),
+        )
+        .is_none());
     }
 
     #[test]

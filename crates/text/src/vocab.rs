@@ -114,6 +114,26 @@ impl Vocabulary {
             .enumerate()
             .map(move |(id, tok)| (tok.as_str(), id, self.counts[id]))
     }
+
+    /// Rebuild a vocabulary from `(token, count)` pairs in id order, as
+    /// produced by [`Vocabulary::iter`] — ids are re-assigned densely in
+    /// iteration order. Returns `None` if a token repeats (a malformed
+    /// snapshot; `iter` never yields duplicates).
+    pub fn from_entries<I>(entries: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = (String, u64)>,
+    {
+        let mut v = Self::new();
+        for (token, count) in entries {
+            let id = v.id_to_token.len();
+            if v.token_to_id.insert(token.clone(), id).is_some() {
+                return None;
+            }
+            v.id_to_token.push(token);
+            v.counts.push(count);
+        }
+        Some(v)
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +184,27 @@ mod tests {
         assert_eq!(p.get("common"), Some(0));
         assert_eq!(remap[0], None);
         assert_eq!(remap[1], Some(0));
+    }
+
+    #[test]
+    fn from_entries_round_trips_iter() {
+        let mut v = Vocabulary::new();
+        v.add("a");
+        v.add("b");
+        v.add("a");
+        let entries: Vec<(String, u64)> = v.iter().map(|(t, _, c)| (t.to_string(), c)).collect();
+        let r = Vocabulary::from_entries(entries).unwrap();
+        assert_eq!(r.len(), v.len());
+        for (tok, id, count) in v.iter() {
+            assert_eq!(r.get(tok), Some(id));
+            assert_eq!(r.count(id), count);
+        }
+    }
+
+    #[test]
+    fn from_entries_rejects_duplicates() {
+        let entries = vec![("x".to_string(), 1), ("x".to_string(), 2)];
+        assert!(Vocabulary::from_entries(entries).is_none());
     }
 
     #[test]

@@ -92,11 +92,11 @@ const CALL_KEYWORDS: [&str; 8] = ["if", "while", "for", "match", "return", "fn",
 /// never resolve to a workspace item through the unique-name fallback
 /// (`AtomicUsize::load` is not `Baseline::load`). Hinted receivers
 /// (`self.`, typed locals, fields) bypass this list.
-const STD_METHODS: [&str; 36] = [
+const STD_METHODS: [&str; 37] = [
     "abs", "clear", "clone", "collect", "contains", "count", "drain", "extend", "fill", "find",
     "first", "flush", "get", "insert", "iter", "join", "last", "len", "load", "lock", "map", "max",
-    "min", "next", "parse", "pop", "position", "push", "read", "remove", "replace", "set", "store",
-    "swap", "take", "write",
+    "min", "next", "parse", "pop", "position", "push", "read", "remove", "replace", "set", "spawn",
+    "store", "swap", "take", "write",
 ];
 
 impl CallGraph {

@@ -33,6 +33,7 @@ pub mod lexer;
 pub mod passes;
 pub mod rules;
 pub mod sarif;
+pub mod serving;
 pub mod source;
 
 use rules::{InventoryItem, Violation};

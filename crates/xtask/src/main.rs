@@ -3,6 +3,7 @@
 //!                                [--update-baseline] [--emit-dot <path>]
 //!                                [--emit-callgraph <path>]`
 //! `cargo run -p xtask -- bench-report [--check]`
+//! `cargo run -p xtask -- serving-report [--check]`
 //!
 //! `lint` exits nonzero when any R1–R4 violation (or malformed
 //! allow-comment) is found. The R5 open-marker (todo/fixme) inventory
@@ -25,6 +26,12 @@
 //! is left untouched: the fresh run is compared against the committed
 //! `current` section and the command fails on any kernel row more than
 //! 15% slower (CI hooks this behind `RETINA_BENCH_CHECK=1`).
+//!
+//! `serving-report` does the same for the prediction-server load
+//! harness (`retina_serve bench`), rewriting `BENCH_serving.json`. With
+//! `--check` the fresh run must not drop throughput more than 15% or
+//! raise p99 latency more than 25% against the committed `current`
+//! section (also behind `RETINA_BENCH_CHECK=1` in CI).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -37,7 +44,8 @@ fn main() -> ExitCode {
              cargo run -p xtask -- analyze [--format text|json|sarif] \
              [--baseline] [--update-baseline] [--emit-dot <path>] \
              [--emit-callgraph <path>]\n       \
-             cargo run -p xtask -- bench-report [--check]"
+             cargo run -p xtask -- bench-report [--check]\n       \
+             cargo run -p xtask -- serving-report [--check]"
         );
         return ExitCode::from(2);
     };
@@ -73,9 +81,22 @@ fn main() -> ExitCode {
             }
             run_bench_report(check)
         }
+        "serving-report" => {
+            let check = args.iter().any(|a| a == "--check");
+            let unknown: Vec<&String> = args[1..]
+                .iter()
+                .filter(|a| a.as_str() != "--check")
+                .collect();
+            if !unknown.is_empty() {
+                eprintln!("unknown serving-report option(s): {unknown:?}");
+                return ExitCode::from(2);
+            }
+            run_serving_report(check)
+        }
         other => {
             eprintln!(
-                "unknown subcommand `{other}`; expected `lint`, `analyze`, or `bench-report`"
+                "unknown subcommand `{other}`; expected `lint`, `analyze`, `bench-report`, \
+                 or `serving-report`"
             );
             ExitCode::from(2)
         }
@@ -222,6 +243,143 @@ fn run_bench_report(check: bool) -> ExitCode {
             "bench {:<50} mean {:>12.3}µs{vs}",
             entry.name,
             entry.mean_ns / 1e3
+        );
+    }
+    eprintln!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
+/// Name of the committed serving-load report at the workspace root.
+const SERVING_REPORT_FILE: &str = "BENCH_serving.json";
+
+/// Fractional throughput drop tolerated by `serving-report --check`.
+const SERVING_PPS_TOLERANCE: f64 = 0.15;
+
+/// Fractional p99-latency rise tolerated by `serving-report --check`.
+const SERVING_P99_TOLERANCE: f64 = 0.25;
+
+fn run_serving_report(check: bool) -> ExitCode {
+    let root = workspace_root();
+    eprintln!("running `retina_serve bench` (this builds in release)...");
+    let out = match std::process::Command::new("cargo")
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "bench",
+            "--bin",
+            "retina_serve",
+            "--",
+            "bench",
+        ])
+        .current_dir(root)
+        .output()
+    {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("failed to spawn the serving harness: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !out.status.success() {
+        eprintln!(
+            "retina_serve bench failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        return ExitCode::from(2);
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let current = xtask::serving::parse_serving_lines(&stdout);
+    if current.is_empty() {
+        eprintln!("retina_serve produced no parseable `serving ...` lines:\n{stdout}");
+        return ExitCode::from(2);
+    }
+
+    let path = root.join(SERVING_REPORT_FILE);
+    if check {
+        // Regression gate: compare the fresh run against the committed
+        // `current` numbers; never rewrite the file.
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(existing) => xtask::serving::parse_section(&existing, "current"),
+            Err(e) => {
+                eprintln!("--check needs a committed {SERVING_REPORT_FILE}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if committed.is_empty() {
+            eprintln!("--check found no `current` entries in {SERVING_REPORT_FILE}");
+            return ExitCode::from(2);
+        }
+        let regs = xtask::serving::regressions(
+            &committed,
+            &current,
+            SERVING_PPS_TOLERANCE,
+            SERVING_P99_TOLERANCE,
+        );
+        for entry in &current {
+            let vs = committed
+                .iter()
+                .find(|c| c.name == entry.name)
+                .map(|c| {
+                    format!(
+                        "  ({:+.1}% pps vs committed)",
+                        (entry.pps / c.pps - 1.0) * 100.0
+                    )
+                })
+                .unwrap_or_else(|| "  (no committed row)".into());
+            println!(
+                "serving {:<40} pps {:>10.1}  p99 {:>10.3}ms{vs}",
+                entry.name,
+                entry.pps,
+                entry.p99_ns / 1e6
+            );
+        }
+        return if regs.is_empty() {
+            eprintln!(
+                "serving check passed: throughput within -{:.0}%, p99 within +{:.0}%",
+                SERVING_PPS_TOLERANCE * 100.0,
+                SERVING_P99_TOLERANCE * 100.0
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("serving check FAILED — {} regression(s):", regs.len());
+            for r in &regs {
+                eprintln!("  {r}");
+            }
+            ExitCode::FAILURE
+        };
+    }
+    // A pre-existing report pins the baseline; the very first run seeds
+    // it from the fresh numbers.
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(existing) => {
+            let b = xtask::serving::parse_section(&existing, "baseline");
+            if b.is_empty() {
+                current.clone()
+            } else {
+                b
+            }
+        }
+        Err(_) => current.clone(),
+    };
+    let json = xtask::serving::render_json(&baseline, &current);
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("failed to write {}: {e}", path.display());
+        return ExitCode::from(2);
+    }
+
+    for entry in &current {
+        let vs = baseline
+            .iter()
+            .find(|b| b.name == entry.name)
+            .filter(|b| b.pps > 0.0)
+            .map(|b| format!("  ({:.2}x pps vs baseline)", entry.pps / b.pps))
+            .unwrap_or_default();
+        println!(
+            "serving {:<40} pps {:>10.1}  p99 {:>10.3}ms{vs}",
+            entry.name,
+            entry.pps,
+            entry.p99_ns / 1e6
         );
     }
     eprintln!("wrote {}", path.display());

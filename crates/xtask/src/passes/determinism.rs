@@ -2,7 +2,8 @@
 //!
 //! Reproduction runs must be bit-replayable from a seed. Three classes of
 //! nondeterminism are flagged in the model crates (`core`, `ml`,
-//! `diffusion`, `nn`, `socialsim`):
+//! `diffusion`, `nn`, `socialsim`) and in the prediction server
+//! (`serving`):
 //!
 //! 1. **Unseeded RNG construction** (`from_entropy`, `thread_rng`,
 //!    `rand::random`) — error. Every RNG must derive from a config seed.
@@ -30,8 +31,12 @@ use super::{Context, Finding, Pass, PassOutput, Severity};
 use crate::lexer::{TokKind, Token};
 use std::collections::BTreeSet;
 
-/// Crates in scope for the determinism pass.
-const SCOPE: [&str; 5] = ["core", "ml", "diffusion", "nn", "socialsim"];
+/// Crates in scope for the determinism pass. `serving` is included:
+/// the prediction server must stay deterministic in its *results*
+/// (batching and worker count only affect latency), so everything but
+/// its explicitly-annotated deadline clock reads is held to the same
+/// bar as the model crates.
+const SCOPE: [&str; 6] = ["core", "ml", "diffusion", "nn", "socialsim", "serving"];
 
 /// Iterating method names on hash collections that expose hasher order.
 const ITER_METHODS: [&str; 6] = ["iter", "keys", "values", "values_mut", "drain", "into_iter"];
@@ -415,6 +420,28 @@ mod tests {
         let f = run_on(
             "crates/nn/src/par.rs",
             "fn f() { crossbeam::scope(|s| { s.spawn(|_| {}); }).unwrap(); }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn serving_crate_is_in_scope() {
+        // The server's only sanctioned clock use is its batching
+        // deadline, which must carry an allow-comment; a bare clock
+        // read or unseeded RNG in `serving` is flagged like in the
+        // model crates.
+        let f = run_on(
+            "crates/serving/src/server.rs",
+            "fn f() { let t = std::time::Instant::now(); let _ = t; }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].severity, Severity::Warning);
+        let f = run_on(
+            "crates/serving/src/server.rs",
+            "fn f() {\n\
+                 // lint: allow(determinism) batching deadline is latency-only\n\
+                 let deadline = std::time::Instant::now(); let _ = deadline;\n\
+             }\n",
         );
         assert!(f.is_empty(), "{f:?}");
     }

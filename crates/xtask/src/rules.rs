@@ -33,7 +33,7 @@ pub struct InventoryItem {
 }
 
 /// Crates whose non-test library code must be panic-free (R1).
-pub const R1_CRATES: [&str; 4] = ["nn", "ml", "diffusion", "core"];
+pub const R1_CRATES: [&str; 5] = ["nn", "ml", "diffusion", "core", "serving"];
 
 /// Files under the R3 probability-hygiene rule.
 pub const R3_FILES: [&str; 3] = [
