@@ -21,7 +21,8 @@ cargo run -p xtask -- lint
 
 step "xtask analyze"
 # Semantic passes (A1 shape-flow, A2 determinism, A3 cast-safety, A4
-# panic-reachability, A5 hot-loop allocation, A6 discarded-Result).
+# panic-reachability, A5 hot-loop allocation, A6 discarded-Result, A7
+# lock-order, A8 blocking-under-lock, A9 condvar-discipline).
 # Fails on any finding not grandfathered in xtask-baseline.json; the
 # SARIF log is kept for CI systems and editors that ingest it.
 mkdir -p target
@@ -63,6 +64,28 @@ fi
 if [[ "${1:-}" == "--sanitize" ]]; then
     step "cargo test --features sanitize"
     cargo test -q --features sanitize
+fi
+
+if [[ "${RETINA_TSAN:-0}" == "1" ]]; then
+    # ThreadSanitizer over the concurrency surface: the serving test
+    # suite (batched server, stress/backpressure races) and the nn
+    # crate's tests (the par worker pool). Complements the static A7–A9
+    # passes with a dynamic race detector. Opt-in: needs a nightly
+    # toolchain with rust-src — std must be rebuilt instrumented
+    # (-Zbuild-std) or its sync primitives show up as false positives.
+    if rustup run nightly rustc --version >/dev/null 2>&1 \
+        && [[ -f "$(rustup run nightly rustc --print sysroot)/lib/rustlib/src/rust/library/Cargo.lock" ]]; then
+        step "thread-sanitizer (serving + nn tests, nightly)"
+        TSAN_TARGET="$(rustc -vV | sed -n 's/^host: //p')"
+        RUSTFLAGS="-Zsanitizer=thread" \
+        RUSTDOCFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -q -Zbuild-std \
+                --target "$TSAN_TARGET" \
+                --target-dir target/tsan \
+                -p serving -p nn --tests
+    else
+        echo "RETINA_TSAN=1 but no nightly toolchain with rust-src — skipping thread-sanitizer run"
+    fi
 fi
 
 printf '\nci.sh: all gates passed\n'

@@ -264,6 +264,13 @@ impl PredictionServer {
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(e);
         }
+        // Allocated outside the lock region: the queue mutex guards only
+        // the push itself, keeping the producer critical section minimal
+        // (the A8 blocking-under-lock pass polices this path).
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
         let mut state = lock(&self.shared.state);
         if state.shutting_down {
             drop(state);
@@ -280,10 +287,6 @@ impl PredictionServer {
                 retry_after: self.shared.max_delay,
             });
         }
-        let slot = Arc::new(Slot {
-            result: Mutex::new(None),
-            ready: Condvar::new(),
-        });
         state.pending.push_back((request, Arc::clone(&slot)));
         drop(state);
         self.shared.accepted.fetch_add(1, Ordering::Relaxed);

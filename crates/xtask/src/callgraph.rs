@@ -92,11 +92,49 @@ const CALL_KEYWORDS: [&str; 8] = ["if", "while", "for", "match", "return", "fn",
 /// never resolve to a workspace item through the unique-name fallback
 /// (`AtomicUsize::load` is not `Baseline::load`). Hinted receivers
 /// (`self.`, typed locals, fields) bypass this list.
-const STD_METHODS: [&str; 37] = [
-    "abs", "clear", "clone", "collect", "contains", "count", "drain", "extend", "fill", "find",
-    "first", "flush", "get", "insert", "iter", "join", "last", "len", "load", "lock", "map", "max",
-    "min", "next", "parse", "pop", "position", "push", "read", "remove", "replace", "set", "spawn",
-    "store", "swap", "take", "write",
+const STD_METHODS: [&str; 42] = [
+    "abs",
+    "clear",
+    "clone",
+    "collect",
+    "contains",
+    "count",
+    "drain",
+    "extend",
+    "fill",
+    "find",
+    "first",
+    "flush",
+    "get",
+    "insert",
+    "iter",
+    "join",
+    "last",
+    "len",
+    "load",
+    "lock",
+    "map",
+    "max",
+    "min",
+    "next",
+    "notify_all",
+    "notify_one",
+    "parse",
+    "pop",
+    "position",
+    "push",
+    "read",
+    "recv",
+    "remove",
+    "replace",
+    "set",
+    "spawn",
+    "store",
+    "swap",
+    "take",
+    "wait",
+    "wait_timeout",
+    "write",
 ];
 
 impl CallGraph {
@@ -871,6 +909,95 @@ mod tests {
             g.chain_display(leaf_chain).contains("core::a"),
             "sorted tie-break picks `a`"
         );
+    }
+
+    #[test]
+    fn typed_local_hints_resolve_both_declaration_forms() {
+        let g = CallGraph::build(&ctx_of(&[(
+            "crates/nn/src/x.rs",
+            "pub struct Pool;\n\
+             impl Pool { pub fn acquire(&self) {} }\n\
+             pub fn drive() {\n\
+                 let ascribed: Pool = make();\n\
+                 let constructed = Pool::default();\n\
+                 ascribed.acquire();\n\
+                 constructed.acquire();\n\
+             }\n",
+        )]));
+        let drive = id(&g, None, "drive");
+        let acquire = id(&g, Some("Pool"), "acquire");
+        assert_eq!(
+            g.edges
+                .iter()
+                .filter(|e| e.caller == drive && e.callee == acquire)
+                .count(),
+            2,
+            "both `let x: T` and `let x = T::...` hints resolve: {:?}",
+            g.edges
+        );
+    }
+
+    #[test]
+    fn unique_name_fallback_resolves_unhinted_receivers() {
+        let g = CallGraph::build(&ctx_of(&[(
+            "crates/nn/src/x.rs",
+            "pub struct Gru;\n\
+             impl Gru { pub fn step_gate(&self) {} }\n\
+             pub fn drive(cell: &Gru) { cell.step_gate(); }\n",
+        )]));
+        // `cell` has no let-hint, but `step_gate` names exactly one
+        // workspace method and is not a ubiquitous std name.
+        assert!(has_edge(
+            &g,
+            id(&g, None, "drive"),
+            id(&g, Some("Gru"), "step_gate")
+        ));
+    }
+
+    #[test]
+    fn std_method_names_never_resolve_through_the_fallback() {
+        let g = CallGraph::build(&ctx_of(&[(
+            "crates/nn/src/x.rs",
+            "pub struct Baseline;\n\
+             impl Baseline { pub fn load(&self) {} }\n\
+             pub struct WorkerPool;\n\
+             impl WorkerPool { pub fn spawn(&self) {} pub fn join(&self) {} }\n\
+             pub struct Ticket;\n\
+             impl Ticket { pub fn wait(&self) {} }\n\
+             pub fn drive(unhinted: &Opaque) {\n\
+                 unhinted.load();\n\
+                 unhinted.spawn();\n\
+                 unhinted.join();\n\
+                 unhinted.wait();\n\
+                 unhinted.recv();\n\
+                 unhinted.notify_one();\n\
+             }\n",
+        )]));
+        let drive = id(&g, None, "drive");
+        assert!(
+            g.edges.iter().all(|e| e.caller != drive),
+            "unhinted std-named methods must stay external, got {:?}",
+            g.edges
+                .iter()
+                .filter(|e| e.caller == drive)
+                .map(|e| g.index.fns[e.callee].display())
+                .collect::<Vec<_>>()
+        );
+        // A hinted receiver still bypasses the blocklist.
+        let g2 = CallGraph::build(&ctx_of(&[(
+            "crates/nn/src/x.rs",
+            "pub struct WorkerPool;\n\
+             impl WorkerPool { pub fn join(&self) {} }\n\
+             pub fn drive() {\n\
+                 let pool: WorkerPool = make();\n\
+                 pool.join();\n\
+             }\n",
+        )]));
+        assert!(has_edge(
+            &g2,
+            id(&g2, None, "drive"),
+            id(&g2, Some("WorkerPool"), "join")
+        ));
     }
 
     #[test]

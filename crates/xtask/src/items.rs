@@ -34,8 +34,13 @@ pub struct FnItem {
     /// Token range of the body (exclusive of the braces); `None` for
     /// bodiless trait-method declarations.
     pub body: Option<(usize, usize)>,
+    /// Token range of the parameter list (exclusive of the parens).
+    pub params: Option<(usize, usize)>,
     /// `Result` appears in the declared return type.
     pub returns_result: bool,
+    /// A `MutexGuard`/`RwLock*Guard` appears in the declared return type
+    /// — calling this fn acquires a lock the caller then holds.
+    pub returns_guard: bool,
     pub is_pub: bool,
     /// Declared inside a `#[cfg(test)]` region.
     pub in_test: bool,
@@ -263,7 +268,9 @@ fn index_file(fi: usize, file: &crate::passes::AnalyzedFile, ix: &mut ItemIndex)
                     file: fi,
                     line: t.line,
                     body: parsed.body,
+                    params: parsed.params,
                     returns_result: parsed.returns_result,
+                    returns_guard: parsed.returns_guard,
                     is_pub: is_pub_before(toks, j),
                     in_test: t.in_test,
                 });
@@ -339,7 +346,9 @@ fn index_struct(toks: &[Token], j: usize, ix: &mut ItemIndex) -> usize {
 struct ParsedFn {
     name: String,
     body: Option<(usize, usize)>,
+    params: Option<(usize, usize)>,
     returns_result: bool,
+    returns_guard: bool,
 }
 
 /// Parse the `fn` signature at `j`; `None` when this is not a function
@@ -358,9 +367,11 @@ fn parse_fn(toks: &[Token], j: usize) -> Option<ParsedFn> {
         return None;
     }
     let params_close = matching_close(toks, k)?;
+    let params = Some((k + 1, params_close));
     let mut m = params_close + 1;
     let mut depth = 0i32;
-    let (mut arrow, mut in_where, mut returns_result) = (false, false, false);
+    let (mut arrow, mut in_where, mut returns_result, mut returns_guard) =
+        (false, false, false, false);
     while m < toks.len() {
         let t = &toks[m];
         match t.text.as_str() {
@@ -369,19 +380,26 @@ fn parse_fn(toks: &[Token], j: usize) -> Option<ParsedFn> {
             "->" if depth == 0 && !in_where => arrow = true,
             "where" if depth == 0 => in_where = true,
             "Result" if arrow && !in_where => returns_result = true,
+            "MutexGuard" | "RwLockReadGuard" | "RwLockWriteGuard" if arrow && !in_where => {
+                returns_guard = true
+            }
             "{" if depth == 0 => {
                 let close = matching_close(toks, m)?;
                 return Some(ParsedFn {
                     name,
                     body: Some((m + 1, close)),
+                    params,
                     returns_result,
+                    returns_guard,
                 });
             }
             ";" if depth == 0 => {
                 return Some(ParsedFn {
                     name,
                     body: None,
+                    params,
                     returns_result,
+                    returns_guard,
                 });
             }
             _ => {}
@@ -544,6 +562,21 @@ mod tests {
         )]));
         assert!(!find(&ix, None, "lib").in_test);
         assert!(find(&ix, None, "helper").in_test);
+    }
+
+    #[test]
+    fn guard_returning_fns_are_marked() {
+        let ix = index(&ctx_of(&[(
+            "crates/serving/src/x.rs",
+            "fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> { m.lock().unwrap() }\n\
+             fn read<'a>(l: &'a RwLock<u8>) -> RwLockReadGuard<'a, u8> { l.read().unwrap() }\n\
+             pub fn plain(n: usize) -> usize { n }\n",
+        )]));
+        assert!(find(&ix, None, "lock").returns_guard);
+        assert!(find(&ix, None, "read").returns_guard);
+        assert!(!find(&ix, None, "plain").returns_guard);
+        let (p0, p1) = find(&ix, None, "plain").params.expect("params recorded");
+        assert!(p1 > p0, "non-empty param range");
     }
 
     #[test]

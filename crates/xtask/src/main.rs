@@ -1,7 +1,8 @@
 //! `cargo run -p xtask -- lint [--fix-inventory]`
 //! `cargo run -p xtask -- analyze [--format text|json|sarif] [--baseline]
 //!                                [--update-baseline] [--emit-dot <path>]
-//!                                [--emit-callgraph <path>]`
+//!                                [--emit-callgraph <path>]
+//!                                [--emit-lockgraph <path>]`
 //! `cargo run -p xtask -- bench-report [--check]`
 //! `cargo run -p xtask -- serving-report [--check]`
 //!
@@ -13,11 +14,13 @@
 //!
 //! `analyze` runs the semantic passes (A1 shape-flow, A2 determinism,
 //! A3 cast-safety, A4 panic-reachability, A5 hot-loop allocation, A6
-//! discarded-Result) over the workspace and exits nonzero when any
+//! discarded-Result, A7 lock-order, A8 blocking-under-lock, A9
+//! condvar-discipline) over the workspace and exits nonzero when any
 //! non-baselined warning/error-severity finding remains.
 //! `--emit-dot` writes the A1 model graph; `--emit-callgraph` writes
 //! the A4 hot-path call graph (`docs/callgraph.dot` is the committed
-//! rendering).
+//! rendering); `--emit-lockgraph` writes the A7 lock-order graph
+//! (`docs/lockgraph.dot` is the committed rendering).
 //!
 //! `bench-report` runs the substrates criterion benchmark and rewrites
 //! `BENCH_kernels.json` at the workspace root. The first run seeds the
@@ -43,7 +46,7 @@ fn main() -> ExitCode {
             "usage: cargo run -p xtask -- lint [--fix-inventory]\n       \
              cargo run -p xtask -- analyze [--format text|json|sarif] \
              [--baseline] [--update-baseline] [--emit-dot <path>] \
-             [--emit-callgraph <path>]\n       \
+             [--emit-callgraph <path>] [--emit-lockgraph <path>]\n       \
              cargo run -p xtask -- bench-report [--check]\n       \
              cargo run -p xtask -- serving-report [--check]"
         );
@@ -392,6 +395,7 @@ struct AnalyzeOpts {
     update_baseline: bool,
     emit_dot: Option<String>,
     emit_callgraph: Option<String>,
+    emit_lockgraph: Option<String>,
 }
 
 enum Format {
@@ -408,6 +412,7 @@ impl AnalyzeOpts {
             update_baseline: false,
             emit_dot: None,
             emit_callgraph: None,
+            emit_lockgraph: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -432,6 +437,13 @@ impl AnalyzeOpts {
                     opts.emit_callgraph = Some(
                         it.next()
                             .ok_or("--emit-callgraph expects a file path")?
+                            .clone(),
+                    );
+                }
+                "--emit-lockgraph" => {
+                    opts.emit_lockgraph = Some(
+                        it.next()
+                            .ok_or("--emit-lockgraph expects a file path")?
                             .clone(),
                     );
                 }
@@ -513,6 +525,26 @@ fn run_analyze(opts: &AnalyzeOpts) -> ExitCode {
             }
             None => {
                 eprintln!("no call-graph artifact produced (A4 emitted nothing)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(path) = &opts.emit_lockgraph {
+        match report
+            .artifacts
+            .iter()
+            .find(|(name, _)| name == "lockgraph.dot")
+        {
+            Some((_, dot)) => {
+                if let Err(e) = std::fs::write(path, dot) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                eprintln!("wrote lock-order graph to {path}");
+            }
+            None => {
+                eprintln!("no lock-graph artifact produced (A7 emitted nothing)");
                 return ExitCode::from(2);
             }
         }

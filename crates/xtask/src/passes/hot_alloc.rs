@@ -56,39 +56,13 @@ impl Pass for HotAlloc {
                 if !in_loop[k - b0] {
                     continue;
                 }
-                let t = &toks[k];
-                if t.kind != TokKind::Ident {
-                    continue;
-                }
-                let next = toks.get(k + 1);
-                let call = match t.text.as_str() {
-                    "new" | "with_capacity" | "from"
-                        if k >= 2
-                            && toks[k - 1].is_punct("::")
-                            && matches!(toks[k - 2].text.as_str(), "Vec" | "String")
-                            && next.is_some_and(|n| n.is_punct("(")) =>
-                    {
-                        Some(format!("{}::{}", toks[k - 2].text, t.text))
-                    }
-                    "vec" | "format" if next.is_some_and(|n| n.is_punct("!")) => {
-                        Some(format!("{}!", t.text))
-                    }
-                    "to_vec" | "clone" | "collect" | "to_string" | "to_owned"
-                        if k > 0
-                            && toks[k - 1].is_punct(".")
-                            && next.is_some_and(|n| n.is_punct("(")) =>
-                    {
-                        Some(format!(".{}()", t.text))
-                    }
-                    _ => None,
-                };
-                if let Some(call) = call {
+                if let Some(call) = alloc_shape(toks, k) {
                     findings.push(Finding {
                         rule: "A5",
                         key: "hot-alloc",
                         severity: Severity::Warning,
                         path: file.source.path.clone(),
-                        line: t.line,
+                        line: toks[k].line,
                         message: format!(
                             "allocation-shaped call `{call}` inside a loop of `{}`, \
                              reachable via {chain_str}; hot loops must reuse pooled \
@@ -124,10 +98,38 @@ impl Pass for HotAlloc {
     }
 }
 
+/// The allocation-shaped call at token `k`, if any — shared with the A8
+/// blocking-under-lock pass, which flags the same shapes inside lock
+/// regions instead of loop bodies.
+pub(crate) fn alloc_shape(toks: &[Token], k: usize) -> Option<String> {
+    let t = &toks[k];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let next = toks.get(k + 1);
+    match t.text.as_str() {
+        "new" | "with_capacity" | "from"
+            if k >= 2
+                && toks[k - 1].is_punct("::")
+                && matches!(toks[k - 2].text.as_str(), "Vec" | "String")
+                && next.is_some_and(|n| n.is_punct("(")) =>
+        {
+            Some(format!("{}::{}", toks[k - 2].text, t.text))
+        }
+        "vec" | "format" if next.is_some_and(|n| n.is_punct("!")) => Some(format!("{}!", t.text)),
+        "to_vec" | "clone" | "collect" | "to_string" | "to_owned"
+            if k > 0 && toks[k - 1].is_punct(".") && next.is_some_and(|n| n.is_punct("(")) =>
+        {
+            Some(format!(".{}()", t.text))
+        }
+        _ => None,
+    }
+}
+
 /// Per-token flag over `[b0, b1)`: inside at least one `for`/`while`/
 /// `loop` body. Loop headers track paren/bracket depth so a closure in
 /// the iterated expression does not end the header early.
-fn loop_mask(toks: &[Token], b0: usize, b1: usize) -> Vec<bool> {
+pub(crate) fn loop_mask(toks: &[Token], b0: usize, b1: usize) -> Vec<bool> {
     let mut mask = vec![false; b1 - b0];
     for k in b0..b1 {
         let t = &toks[k];

@@ -25,17 +25,32 @@
 //!   inside loops of hot-path-reachable functions.
 //! - **A6 discarded-Result** (`result_discard`): `let _ =` and
 //!   bare-statement discards of fallible APIs, workspace-wide.
+//! - **A7 lock-order** (`lock_order`): cycles and re-entrant self-edges
+//!   in the global lock-acquisition-order graph built from the
+//!   lock-region model ([`crate::lockmodel`]); emits the
+//!   `lockgraph.dot` artifact.
+//! - **A8 blocking-under-lock** (`lock_block`): condvar waits holding a
+//!   foreign lock, channel recv, thread join, sleep/IO and
+//!   alloc-shaped calls inside lock regions reachable from the serving
+//!   hot path.
+//! - **A9 condvar-discipline** (`condvar`): waits outside predicate
+//!   loops, ambiguous wait guards, and mutations of condvar-associated
+//!   state with no following notify.
 //!
 //! Findings carry a severity; `Error` and `Warning` fail the run,
 //! `Note` never does. Suppression uses the same allow-comment machinery
 //! as the lint: `// lint: allow(<key>) <reason>` with the pass-specific
 //! keys `shape`, `determinism`, `lossy-cast`, `index-underflow`,
-//! `panic-reach`, `hot-alloc`, `discard-result`. A reasonless allow for
-//! the A4/A5 keys is itself an Error (rule `allow`).
+//! `panic-reach`, `hot-alloc`, `discard-result`, `lock-order`,
+//! `lock-block`, `condvar`. A reasonless allow for the A4–A9 keys is
+//! itself an Error (rule `allow`).
 
 pub mod cast_safety;
+pub mod condvar;
 pub mod determinism;
 pub mod hot_alloc;
+pub mod lock_block;
+pub mod lock_order;
 pub mod panic_reach;
 pub mod result_discard;
 pub mod shape_flow;
@@ -43,7 +58,7 @@ pub mod shape_flow;
 use crate::lexer::{self, Token};
 use crate::source::SourceFile;
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 /// Finding severity. Ordering: `Error > Warning > Note`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -168,6 +183,9 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(panic_reach::PanicReach),
         Box::new(hot_alloc::HotAlloc),
         Box::new(result_discard::ResultDiscard),
+        Box::new(lock_order::LockOrder),
+        Box::new(lock_block::LockBlock),
+        Box::new(condvar::CondvarDiscipline),
     ]
 }
 
@@ -238,20 +256,13 @@ impl AnalysisReport {
 }
 
 /// Read and lex every library source under `root` into a pass context.
-/// Reuses the lint's file walker (library sources only; vendor/,
+/// Members come from the root manifest via
+/// [`crate::workspace_members`] (library sources only; vendor/,
 /// tests/, benches/ are out of scope).
 pub fn load_workspace(root: &Path) -> std::io::Result<Context> {
     let mut files = Vec::new();
-    let crates_dir = root.join("crates");
-    if crates_dir.is_dir() {
-        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.is_dir())
-            .collect();
-        members.sort();
-        for member in members {
-            crate::collect_rs(&member.join("src"), &mut files)?;
-        }
+    for member in crate::workspace_members(root)? {
+        crate::collect_rs(&member.join("src"), &mut files)?;
     }
     crate::collect_rs(&root.join("src"), &mut files)?;
     files.sort();
