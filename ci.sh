@@ -22,9 +22,11 @@ cargo run -p xtask -- lint
 step "xtask analyze"
 # Semantic passes (A1 shape-flow, A2 determinism, A3 cast-safety, A4
 # panic-reachability, A5 hot-loop allocation, A6 discarded-Result, A7
-# lock-order, A8 blocking-under-lock, A9 condvar-discipline).
+# lock-order, A8 blocking-under-lock, A9 condvar-discipline, A10
+# division/log-guard, A11 probability-domain, A12 reduction-inventory).
 # Fails on any finding not grandfathered in xtask-baseline.json; the
 # SARIF log is kept for CI systems and editors that ingest it.
+# `cargo run -p xtask -- explain <rule>` documents any failing rule.
 mkdir -p target
 cargo run -p xtask -- analyze --format sarif --baseline > target/analyze.sarif
 

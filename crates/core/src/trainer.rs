@@ -142,7 +142,7 @@ pub fn train_retina(model: &mut Retina, train: &[PackedSample], config: &TrainCo
                 total_loss += loss;
                 // Scale per-sample gradient by batch size for a stable
                 // effective learning rate.
-                let grad = grad.scaled(1.0 / chunk.len() as f64);
+                let grad = grad.scaled(1.0 / chunk.len().max(1) as f64);
                 model.backward(s, &grad);
             }
             match config.optimizer {

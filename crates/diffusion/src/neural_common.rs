@@ -10,7 +10,7 @@ pub fn softmax_ce_target0(logits: &[f64]) -> (f64, Vec<f64>) {
     let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let exps: Vec<f64> = logits.iter().map(|&z| (z - max).exp()).collect();
     let sum: f64 = exps.iter().sum();
-    let probs: Vec<f64> = exps.iter().map(|e| e / sum).collect();
+    let probs: Vec<f64> = exps.iter().map(|e| (e / sum).clamp(0.0, 1.0)).collect();
     let loss = -probs[0].max(1e-12).ln();
     let mut grad = probs;
     grad[0] -= 1.0;

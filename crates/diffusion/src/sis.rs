@@ -93,7 +93,7 @@ impl SisModel {
         }
         counts
             .into_iter()
-            .map(|c| c as f64 / self.n_sims as f64)
+            .map(|c| (c as f64 / self.n_sims as f64).clamp(0.0, 1.0))
             .collect()
     }
 }

@@ -100,7 +100,7 @@ impl ThresholdModel {
         }
         counts
             .into_iter()
-            .map(|c| c as f64 / self.n_sims as f64)
+            .map(|c| (c as f64 / self.n_sims as f64).clamp(0.0, 1.0))
             .collect()
     }
 }

@@ -120,7 +120,7 @@ impl Classifier for AdaBoost {
 
     fn predict_proba(&self, x: &[f64]) -> f64 {
         // Map the [-1,1] vote score to (0,1).
-        (self.decision(x) + 1.0) / 2.0
+        ((self.decision(x) + 1.0) / 2.0).clamp(0.0, 1.0)
     }
 }
 

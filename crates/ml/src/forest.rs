@@ -116,7 +116,9 @@ impl Classifier for RandomForest {
 
     fn predict_proba(&self, x: &[f64]) -> f64 {
         assert!(!self.trees.is_empty(), "predict before fit");
-        self.trees.iter().map(|t| t.predict_proba(x)).sum::<f64>() / self.trees.len() as f64
+        (self.trees.iter().map(|t| t.predict_proba(x)).sum::<f64>()
+            / self.trees.len().max(1) as f64)
+            .clamp(0.0, 1.0)
     }
 }
 

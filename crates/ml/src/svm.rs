@@ -208,7 +208,7 @@ impl RbfSvm {
     }
 
     fn featurize(&self, x: &[f64]) -> Vec<f64> {
-        let dd = self.omega.len();
+        let dd = self.omega.len().max(1);
         let norm = (2.0 / dd as f64).sqrt();
         self.omega
             .iter()

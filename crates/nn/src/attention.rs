@@ -88,7 +88,7 @@ impl ExogenousAttention {
             }
         }
         let k = xn.len();
-        let scale = 1.0 / (self.hdim as f64).sqrt();
+        let scale = 1.0 / (self.hdim.max(1) as f64).sqrt();
 
         let mut q = self.pool.grab(0, 0);
         xt.matmul_into(&self.wq.value, &mut q);
@@ -159,7 +159,7 @@ impl ExogenousAttention {
         let cache = self.cache.as_ref().expect("backward before forward");
         let batch = cache.xt.rows();
         let k = cache.attn.cols();
-        let scale = 1.0 / (self.hdim as f64).sqrt();
+        let scale = 1.0 / (self.hdim.max(1) as f64).sqrt();
 
         // dV_i[b] = A[b,i]·gOut[b] ;  dA[b,i] = gOut[b]·V_i[b]
         // d_values is built stacked, mirroring the cache layout.

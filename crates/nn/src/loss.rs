@@ -46,7 +46,7 @@ impl WeightedBce {
             (targets.rows(), targets.cols())
         );
         crate::sanitize::check_finite("weighted_bce", "loss", logits);
-        let n = (logits.rows() * logits.cols()) as f64;
+        let n = (logits.rows() * logits.cols()).max(1) as f64;
         let out = logits
             .data()
             .iter()
@@ -85,7 +85,7 @@ impl WeightedBce {
 
     /// Gradient of the mean loss w.r.t. the logits.
     pub fn grad(&self, logits: &Matrix, targets: &Matrix) -> Matrix {
-        let n = (logits.rows() * logits.cols()) as f64;
+        let n = (logits.rows() * logits.cols()).max(1) as f64;
         let g = logits.zip(targets, |z, t| {
             (self.pos_weight * t * (stable_sigmoid(z) - 1.0) + (1.0 - t) * stable_sigmoid(z)) / n
         });

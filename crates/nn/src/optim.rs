@@ -83,8 +83,11 @@ impl Optimizer for Adam {
                 let v = self.beta2 * p.v.data()[i] + (1.0 - self.beta2) * g * g;
                 p.m.data_mut()[i] = m;
                 p.v.data_mut()[i] = v;
+                // lint: allow(float-flow) 1 - beta^t >= 1 - beta > 0 for beta in [0,1)
                 let m_hat = m / b1t;
+                // lint: allow(float-flow) 1 - beta^t >= 1 - beta > 0 for beta in [0,1)
                 let v_hat = v / b2t;
+                // lint: allow(float-flow) v is an EMA of squared gradients (>= 0) and eps > 0
                 p.value.data_mut()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
             }
             crate::sanitize::check_finite("adam", "step", &p.value);

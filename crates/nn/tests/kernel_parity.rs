@@ -75,6 +75,55 @@ const SHAPES: [(usize, usize, usize); 10] = [
     (130, 129, 131),
 ];
 
+/// The documented accumulation order of `mm_rows`, re-implemented
+/// literally: the reduction dimension is visited in tiles of 32
+/// (mirroring tensor.rs's private `K_TILE`), within each tile the
+/// `KERNEL_BLOCK`-wide unrolled block adds its partial products
+/// sequentially in ascending `k`, and the remainder loop finishes the
+/// tile one term at a time. Per output element this is exactly `k`
+/// ascending — the contract A12 relies on when it exempts the blessed
+/// `*_rows`/`*_into` kernels from the reduction inventory.
+fn reference_tiled_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    const K_TILE: usize = 32;
+    let block = nn::tensor::KERNEL_BLOCK;
+    Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+        let mut acc = 0.0;
+        let kk = a.cols();
+        let mut k0 = 0;
+        while k0 < kk {
+            let k_end = (k0 + K_TILE).min(kk);
+            let mut k = k0;
+            while k + block <= k_end {
+                for u in 0..block {
+                    acc += a.get(i, k + u) * b.get(k + u, j);
+                }
+                k += block;
+            }
+            while k < k_end {
+                acc += a.get(i, k) * b.get(k, j);
+                k += 1;
+            }
+            k0 = k_end;
+        }
+        acc
+    })
+}
+
+#[test]
+fn blocked_matmul_summation_order_is_pinned_to_the_documented_reference() {
+    // Bit identity against the explicit tile/unroll sequence — any
+    // reordering of the blocked kernel's accumulation (a changed tile
+    // width is fine, a changed per-element order is not) fails here
+    // before it shows up as a one-ulp drift in a model test.
+    for &(m, k, n) in &SHAPES {
+        let a = fill(m, k, 11);
+        let b = fill(k, n, 23);
+        let got = a.matmul(&b);
+        let want = reference_tiled_matmul(&a, &b);
+        assert_eq!(got.data(), want.data(), "order drifted at {m}x{k}x{n}");
+    }
+}
+
 #[test]
 fn kernels_match_naive_bitwise_across_thread_counts() {
     for threads in [1usize, 2, 8] {

@@ -81,19 +81,41 @@ impl Baseline {
     /// Split findings into (kept, baselined-count). Each baseline entry
     /// absorbs up to `count` findings with the same fingerprint.
     pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+        let (kept, absorbed) = self.split(findings);
+        (kept, absorbed.len())
+    }
+
+    /// Split findings into (kept, absorbed). Re-rendering exactly the
+    /// absorbed set is a pruned baseline: stale fingerprints drop out
+    /// and counts shrink to what still occurs.
+    pub fn split(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
         let mut budget = self.entries.clone();
         let mut kept = Vec::new();
-        let mut absorbed = 0usize;
+        let mut absorbed = Vec::new();
         for f in findings {
             match budget.get_mut(&f.fingerprint()) {
                 Some(n) if *n > 0 => {
                     *n -= 1;
-                    absorbed += 1;
+                    absorbed.push(f);
                 }
                 _ => kept.push(f),
             }
         }
         (kept, absorbed)
+    }
+
+    /// Grandfathered occurrences no current finding matches — the count
+    /// `analyze --prune-baseline` would remove. Nonzero means the
+    /// baseline has gone stale (a fixed finding left its entry behind).
+    pub fn stale(&self, findings: &[Finding]) -> usize {
+        let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+        for f in findings {
+            *counts.entry(f.fingerprint()).or_insert(0) += 1;
+        }
+        self.entries
+            .iter()
+            .map(|(fp, n)| n.saturating_sub(counts.get(fp).copied().unwrap_or(0)))
+            .sum()
     }
 
     /// Serialize findings as a fresh baseline payload (sorted, with
@@ -176,6 +198,26 @@ mod tests {
         let (kept, absorbed) = base.apply(vec![finding("p.rs", "m", 1), finding("p.rs", "m", 2)]);
         assert_eq!(absorbed, 1);
         assert_eq!(kept.len(), 1, "second occurrence exceeds the budget");
+    }
+
+    #[test]
+    fn stale_counts_the_unmatched_grandfathered_occurrences() {
+        let base = Baseline::parse(&Baseline::render(&[
+            finding("p.rs", "m1", 1),
+            finding("p.rs", "m1", 2),
+            finding("p.rs", "m2", 3),
+        ]))
+        .unwrap();
+        // m1 now occurs once (one fixed), m2 is gone entirely.
+        let now = vec![finding("p.rs", "m1", 1)];
+        assert_eq!(base.stale(&now), 2);
+        assert_eq!(base.stale(&[]), 3);
+
+        // Re-rendering the absorbed split prunes exactly the stale part.
+        let (_, absorbed) = base.split(now);
+        let pruned = Baseline::parse(&Baseline::render(&absorbed)).unwrap();
+        assert_eq!(pruned.len(), 1);
+        assert_eq!(pruned.stale(&[finding("p.rs", "m1", 1)]), 0);
     }
 
     #[test]

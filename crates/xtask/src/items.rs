@@ -41,6 +41,9 @@ pub struct FnItem {
     /// A `MutexGuard`/`RwLock*Guard` appears in the declared return type
     /// — calling this fn acquires a lock the caller then holds.
     pub returns_guard: bool,
+    /// `f32`/`f64` appears in the declared return type — the floatflow
+    /// engine treats this fn's summary as a float value.
+    pub returns_float: bool,
     pub is_pub: bool,
     /// Declared inside a `#[cfg(test)]` region.
     pub in_test: bool,
@@ -271,6 +274,7 @@ fn index_file(fi: usize, file: &crate::passes::AnalyzedFile, ix: &mut ItemIndex)
                     params: parsed.params,
                     returns_result: parsed.returns_result,
                     returns_guard: parsed.returns_guard,
+                    returns_float: parsed.returns_float,
                     is_pub: is_pub_before(toks, j),
                     in_test: t.in_test,
                 });
@@ -349,6 +353,7 @@ struct ParsedFn {
     params: Option<(usize, usize)>,
     returns_result: bool,
     returns_guard: bool,
+    returns_float: bool,
 }
 
 /// Parse the `fn` signature at `j`; `None` when this is not a function
@@ -372,6 +377,7 @@ fn parse_fn(toks: &[Token], j: usize) -> Option<ParsedFn> {
     let mut depth = 0i32;
     let (mut arrow, mut in_where, mut returns_result, mut returns_guard) =
         (false, false, false, false);
+    let mut returns_float = false;
     while m < toks.len() {
         let t = &toks[m];
         match t.text.as_str() {
@@ -380,6 +386,7 @@ fn parse_fn(toks: &[Token], j: usize) -> Option<ParsedFn> {
             "->" if depth == 0 && !in_where => arrow = true,
             "where" if depth == 0 => in_where = true,
             "Result" if arrow && !in_where => returns_result = true,
+            "f32" | "f64" if arrow && !in_where => returns_float = true,
             "MutexGuard" | "RwLockReadGuard" | "RwLockWriteGuard" if arrow && !in_where => {
                 returns_guard = true
             }
@@ -391,6 +398,7 @@ fn parse_fn(toks: &[Token], j: usize) -> Option<ParsedFn> {
                     params,
                     returns_result,
                     returns_guard,
+                    returns_float,
                 });
             }
             ";" if depth == 0 => {
@@ -400,6 +408,7 @@ fn parse_fn(toks: &[Token], j: usize) -> Option<ParsedFn> {
                     params,
                     returns_result,
                     returns_guard,
+                    returns_float,
                 });
             }
             _ => {}

@@ -302,4 +302,39 @@ mod tests {
         assert!(!t[0].in_test);
         assert!(t.iter().any(|t| t.is_ident("tests") && t.in_test));
     }
+
+    #[test]
+    fn raw_strings_are_opaque_to_the_code_channel() {
+        // The `//`, `"` and `/` inside the raw string must not open a
+        // comment or terminate the literal early; `after` still lexes.
+        let t = toks("let re = r#\"a \" quote // not a comment / { } \"#; let after = 1;\n");
+        assert!(t.iter().any(|t| t.is_ident("after")));
+        assert!(t.iter().any(|t| t.kind == TokKind::Str));
+        // No stray brace tokens leaked out of the literal.
+        assert!(!t.iter().any(|t| t.is_punct("{")));
+        assert!(t.iter().any(|t| t.is_ident("re")));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_outermost_level() {
+        let t = toks("let a = 1; /* outer /* inner */ still a comment */ let b = 2;\n");
+        let idents: Vec<&str> = t
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "a", "let", "b"]);
+        assert!(!t.iter().any(|t| t.is_ident("inner")));
+    }
+
+    #[test]
+    fn char_literals_with_quote_and_slash_do_not_derail_the_lexer() {
+        // A '"' char must not open a string state and a '/' char must
+        // not pair with the next '/' into a comment.
+        let t = toks("if c == '\"' || c == '/' { skip(); } let tail = 9;\n");
+        assert!(t.iter().any(|t| t.is_ident("tail")));
+        assert!(t.iter().any(|t| t.is_ident("skip")));
+        let t2 = toks("let q = '\\''; let z = 3;\n");
+        assert!(t2.iter().any(|t| t.is_ident("z")));
+    }
 }

@@ -15,21 +15,27 @@
 //! The `analyze` subcommand runs the token-stream semantic passes
 //! (A1 shape-flow, A2 determinism, A3 cast-safety, the
 //! call-graph-based A4 panic-reachability, A5 hot-loop allocation and
-//! A6 discarded-Result, plus the lock-region-model-based A7 lock-order,
-//! A8 blocking-under-lock and A9 condvar-discipline — see [`passes`],
-//! [`items`], [`callgraph`], [`lockmodel`]) with SARIF 2.1.0 output
-//! ([`sarif`]) and a committed finding baseline ([`baseline`]).
+//! A6 discarded-Result, the lock-region-model-based A7 lock-order,
+//! A8 blocking-under-lock and A9 condvar-discipline, plus the
+//! float-value-lattice-based A10 division/log-guard, A11
+//! probability-domain and A12 reduction-inventory — see [`passes`],
+//! [`items`], [`callgraph`], [`lockmodel`], [`floatflow`]) with SARIF
+//! 2.1.0 output ([`sarif`]) and a committed finding baseline
+//! ([`baseline`]). `explain <rule>` prints each rule's rationale and
+//! fix guidance from the shared catalogue ([`explain`]).
 //!
 //! Violations can be suppressed in place with
 //! `// lint: allow(<key>) <reason>` where `<key>` is one of
 //! `unwrap`, `float-cmp`, `prob-guard`, `index` (lint) or `shape`,
 //! `determinism`, `lossy-cast`, `index-underflow`, `panic-reach`,
 //! `hot-alloc`, `discard-result`, `lock-order`, `lock-block`,
-//! `condvar` (analyze); the reason is required.
+//! `condvar`, `float-flow` (analyze); the reason is required.
 
 pub mod baseline;
 pub mod bench;
 pub mod callgraph;
+pub mod explain;
+pub mod floatflow;
 pub mod items;
 pub mod lexer;
 pub mod lockmodel;
@@ -499,6 +505,49 @@ mod tests {
                     && dot.contains("Slot.ready")),
             "A7 produced no lock-graph artifact"
         );
+        // The A12 pass rendered the float-domain/reduction-inventory
+        // graph, and the committed docs/floatflow.dot matches it (the
+        // shipped rendering must not drift from the analysis).
+        let flowdot = report
+            .artifacts
+            .iter()
+            .find(|(name, _)| name == "floatflow.dot")
+            .map(|(_, dot)| dot.as_str())
+            .expect("A12 produced no float-flow artifact");
+        assert!(flowdot.contains("digraph floatflow"));
+        let committed =
+            fs::read_to_string(root.join("docs/floatflow.dot")).expect("docs/floatflow.dot");
+        assert_eq!(
+            committed, flowdot,
+            "docs/floatflow.dot is stale — regenerate with \
+             `cargo run -p xtask -- analyze --emit-floatflow docs/floatflow.dot`"
+        );
+    }
+
+    #[test]
+    fn committed_baseline_has_no_stale_entries() {
+        // Every grandfathered fingerprint must still match a live
+        // finding; a fixed finding must take its baseline entry with it
+        // (`analyze --prune-baseline` rewrites the file).
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_path_buf();
+        let report = passes::analyze_workspace(&root).expect("analyze runs");
+        let base = baseline::Baseline::load(&root).expect("baseline parses");
+        let failing: Vec<passes::Finding> = report
+            .findings
+            .iter()
+            .filter(|f| f.severity.is_failing())
+            .cloned()
+            .collect();
+        assert_eq!(
+            base.stale(&failing),
+            0,
+            "baseline has stale entries — run \
+             `cargo run -p xtask -- analyze --prune-baseline`"
+        );
     }
 
     #[test]
@@ -518,7 +567,8 @@ mod tests {
             "baseline entry count changed — re-pin deliberately"
         );
         for rule in [
-            "\"A1\"", "\"A2\"", "\"A3\"", "\"A6\"", "\"A7\"", "\"A8\"", "\"A9\"",
+            "\"A1\"", "\"A2\"", "\"A3\"", "\"A6\"", "\"A7\"", "\"A8\"", "\"A9\"", "\"A10\"",
+            "\"A11\"", "\"A12\"",
         ] {
             assert!(
                 !raw.contains(rule),

@@ -1,8 +1,11 @@
 //! `cargo run -p xtask -- lint [--fix-inventory]`
 //! `cargo run -p xtask -- analyze [--format text|json|sarif] [--baseline]
-//!                                [--update-baseline] [--emit-dot <path>]
+//!                                [--update-baseline] [--prune-baseline]
+//!                                [--emit-dot <path>]
 //!                                [--emit-callgraph <path>]
-//!                                [--emit-lockgraph <path>]`
+//!                                [--emit-lockgraph <path>]
+//!                                [--emit-floatflow <path>]`
+//! `cargo run -p xtask -- explain [<rule>]`
 //! `cargo run -p xtask -- bench-report [--check]`
 //! `cargo run -p xtask -- serving-report [--check]`
 //!
@@ -15,12 +18,22 @@
 //! `analyze` runs the semantic passes (A1 shape-flow, A2 determinism,
 //! A3 cast-safety, A4 panic-reachability, A5 hot-loop allocation, A6
 //! discarded-Result, A7 lock-order, A8 blocking-under-lock, A9
-//! condvar-discipline) over the workspace and exits nonzero when any
-//! non-baselined warning/error-severity finding remains.
+//! condvar-discipline, A10 division/log-guard, A11 probability-domain,
+//! A12 reduction-inventory) over the workspace and exits nonzero when
+//! any non-baselined warning/error-severity finding remains.
+//! `--update-baseline` grandfathers the current failing findings (Notes
+//! are never baselined); `--prune-baseline` rewrites the committed
+//! baseline keeping only entries a current finding still matches.
 //! `--emit-dot` writes the A1 model graph; `--emit-callgraph` writes
 //! the A4 hot-path call graph (`docs/callgraph.dot` is the committed
 //! rendering); `--emit-lockgraph` writes the A7 lock-order graph
-//! (`docs/lockgraph.dot` is the committed rendering).
+//! (`docs/lockgraph.dot` is the committed rendering); `--emit-floatflow`
+//! writes the A12 float-domain/reduction-inventory graph
+//! (`docs/floatflow.dot` is the committed rendering).
+//!
+//! `explain <rule>` prints the rationale and fix guidance for one rule
+//! or pass (`R1`..`R5`, `allow`, `A1`..`A12`); with no argument it
+//! prints the whole catalogue.
 //!
 //! `bench-report` runs the substrates criterion benchmark and rewrites
 //! `BENCH_kernels.json` at the workspace root. The first run seeds the
@@ -45,8 +58,10 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: cargo run -p xtask -- lint [--fix-inventory]\n       \
              cargo run -p xtask -- analyze [--format text|json|sarif] \
-             [--baseline] [--update-baseline] [--emit-dot <path>] \
-             [--emit-callgraph <path>] [--emit-lockgraph <path>]\n       \
+             [--baseline] [--update-baseline] [--prune-baseline] \
+             [--emit-dot <path>] [--emit-callgraph <path>] \
+             [--emit-lockgraph <path>] [--emit-floatflow <path>]\n       \
+             cargo run -p xtask -- explain [<rule>]\n       \
              cargo run -p xtask -- bench-report [--check]\n       \
              cargo run -p xtask -- serving-report [--check]"
         );
@@ -65,6 +80,7 @@ fn main() -> ExitCode {
             }
             run_lint(json)
         }
+        "explain" => run_explain(args.get(1).map(String::as_str)),
         "analyze" => match AnalyzeOpts::parse(&args[1..]) {
             Ok(opts) => run_analyze(&opts),
             Err(e) => {
@@ -98,20 +114,50 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown subcommand `{other}`; expected `lint`, `analyze`, `bench-report`, \
-                 or `serving-report`"
+                "unknown subcommand `{other}`; expected `lint`, `analyze`, `explain`, \
+                 `bench-report`, or `serving-report`"
             );
             ExitCode::from(2)
         }
     }
 }
 
+fn run_explain(code: Option<&str>) -> ExitCode {
+    match code {
+        Some(code) => match xtask::explain::lookup(code) {
+            Some(doc) => {
+                print!("{}", xtask::explain::render(doc));
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "unknown rule `{code}`; known rules: {}",
+                    xtask::explain::CATALOGUE
+                        .iter()
+                        .map(|d| d.code)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                ExitCode::from(2)
+            }
+        },
+        None => {
+            for doc in xtask::explain::CATALOGUE {
+                print!("{}", xtask::explain::render(doc));
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
 fn workspace_root() -> &'static Path {
-    // xtask lives at <root>/crates/xtask.
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("xtask sits two levels under the workspace root")
+    // xtask lives at <root>/crates/xtask; the manifest dir is a
+    // compile-time constant with two ancestors, but fall back to the
+    // invoking directory rather than panic.
+    match Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2) {
+        Some(p) => p,
+        None => Path::new("."),
+    }
 }
 
 fn run_lint(json: bool) -> ExitCode {
@@ -393,9 +439,11 @@ struct AnalyzeOpts {
     format: Format,
     use_baseline: bool,
     update_baseline: bool,
+    prune_baseline: bool,
     emit_dot: Option<String>,
     emit_callgraph: Option<String>,
     emit_lockgraph: Option<String>,
+    emit_floatflow: Option<String>,
 }
 
 enum Format {
@@ -410,9 +458,11 @@ impl AnalyzeOpts {
             format: Format::Text,
             use_baseline: false,
             update_baseline: false,
+            prune_baseline: false,
             emit_dot: None,
             emit_callgraph: None,
             emit_lockgraph: None,
+            emit_floatflow: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -429,6 +479,7 @@ impl AnalyzeOpts {
                 }
                 "--baseline" => opts.use_baseline = true,
                 "--update-baseline" => opts.update_baseline = true,
+                "--prune-baseline" => opts.prune_baseline = true,
                 "--emit-dot" => {
                     opts.emit_dot =
                         Some(it.next().ok_or("--emit-dot expects a file path")?.clone());
@@ -444,6 +495,13 @@ impl AnalyzeOpts {
                     opts.emit_lockgraph = Some(
                         it.next()
                             .ok_or("--emit-lockgraph expects a file path")?
+                            .clone(),
+                    );
+                }
+                "--emit-floatflow" => {
+                    opts.emit_floatflow = Some(
+                        it.next()
+                            .ok_or("--emit-floatflow expects a file path")?
                             .clone(),
                     );
                 }
@@ -465,14 +523,51 @@ fn run_analyze(opts: &AnalyzeOpts) -> ExitCode {
     };
 
     if opts.update_baseline {
-        if let Err(e) = xtask::baseline::Baseline::save(root, &report.findings) {
+        // Notes (the A12/R5 inventories) never enter the baseline: they
+        // cannot fail the run, so grandfathering them only hides drift.
+        let failing: Vec<xtask::passes::Finding> = report
+            .findings
+            .iter()
+            .filter(|f| f.severity.is_failing())
+            .cloned()
+            .collect();
+        if let Err(e) = xtask::baseline::Baseline::save(root, &failing) {
             eprintln!("failed to write {}: {e}", xtask::baseline::BASELINE_FILE);
             return ExitCode::from(2);
         }
         eprintln!(
             "wrote {} grandfathering {} finding(s)",
             xtask::baseline::BASELINE_FILE,
-            report.findings.len()
+            failing.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.prune_baseline {
+        let base = match xtask::baseline::Baseline::load(root) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bad baseline: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let failing: Vec<xtask::passes::Finding> = report
+            .findings
+            .iter()
+            .filter(|f| f.severity.is_failing())
+            .cloned()
+            .collect();
+        let stale = base.stale(&failing);
+        let (_, absorbed) = base.split(failing);
+        if let Err(e) = xtask::baseline::Baseline::save(root, &absorbed) {
+            eprintln!("failed to write {}: {e}", xtask::baseline::BASELINE_FILE);
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "pruned {} stale grandfathered occurrence(s); {} kept in {}",
+            stale,
+            absorbed.len(),
+            xtask::baseline::BASELINE_FILE
         );
         return ExitCode::SUCCESS;
     }
@@ -545,6 +640,26 @@ fn run_analyze(opts: &AnalyzeOpts) -> ExitCode {
             }
             None => {
                 eprintln!("no lock-graph artifact produced (A7 emitted nothing)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(path) = &opts.emit_floatflow {
+        match report
+            .artifacts
+            .iter()
+            .find(|(name, _)| name == "floatflow.dot")
+        {
+            Some((_, dot)) => {
+                if let Err(e) = std::fs::write(path, dot) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                eprintln!("wrote float-domain graph to {path}");
+            }
+            None => {
+                eprintln!("no float-flow artifact produced (A12 emitted nothing)");
                 return ExitCode::from(2);
             }
         }

@@ -36,22 +36,38 @@
 //! - **A9 condvar-discipline** (`condvar`): waits outside predicate
 //!   loops, ambiguous wait guards, and mutations of condvar-associated
 //!   state with no following notify.
+//! - **A10 division/log-guard** (`div_guard`): divisions, `ln`/`log*`
+//!   and `sqrt` in hot-path-reachable fns whose operands are not
+//!   provably epsilon-guarded/positive in the float value lattice
+//!   ([`crate::floatflow`]), with the operand's defining site.
+//! - **A11 probability-domain** (`prob_domain`): `loss_probs`
+//!   arguments, prob-named bindings and `predict_proba*` returns that
+//!   arithmetic can push outside [0,1] without a clamp — the
+//!   inter-procedural upgrade of R3.
+//! - **A12 reduction-inventory** (`reduction_inventory`): Notes-only
+//!   inventory of float accumulation loops outside the blessed
+//!   `*_into`/`*_rows` kernels, `as f32` narrowings and mixed-width
+//!   lines; emits the `floatflow.dot` artifact.
 //!
 //! Findings carry a severity; `Error` and `Warning` fail the run,
 //! `Note` never does. Suppression uses the same allow-comment machinery
 //! as the lint: `// lint: allow(<key>) <reason>` with the pass-specific
 //! keys `shape`, `determinism`, `lossy-cast`, `index-underflow`,
 //! `panic-reach`, `hot-alloc`, `discard-result`, `lock-order`,
-//! `lock-block`, `condvar`. A reasonless allow for the A4–A9 keys is
-//! itself an Error (rule `allow`).
+//! `lock-block`, `condvar`, `float-flow` (shared by A10–A12; the
+//! misuse check for it runs once, in A10). A reasonless allow for the
+//! A4–A12 keys is itself an Error (rule `allow`).
 
 pub mod cast_safety;
 pub mod condvar;
 pub mod determinism;
+pub mod div_guard;
 pub mod hot_alloc;
 pub mod lock_block;
 pub mod lock_order;
 pub mod panic_reach;
+pub mod prob_domain;
+pub mod reduction_inventory;
 pub mod result_discard;
 pub mod shape_flow;
 
@@ -186,6 +202,9 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(lock_order::LockOrder),
         Box::new(lock_block::LockBlock),
         Box::new(condvar::CondvarDiscipline),
+        Box::new(div_guard::DivGuard),
+        Box::new(prob_domain::ProbDomain),
+        Box::new(reduction_inventory::ReductionInventory),
     ]
 }
 

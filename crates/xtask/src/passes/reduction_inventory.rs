@@ -1,0 +1,217 @@
+//! A12 — reduction-order / precision inventory.
+//!
+//! Inventory, not enforcement: every float accumulation loop outside
+//! the blessed kernel helpers (fns ending `_into` or `_rows`, where the
+//! summation order is pinned by `kernel_parity`), every `as f32`
+//! narrowing cast, and every line mixing `f32` and `f64` is reported as
+//! a **Note** — these are exactly the sites whose results change under
+//! a future SIMD/f32 inference tier (ROADMAP open item 4), so the
+//! inventory is that tier's pre-flight checklist. It never fails the
+//! build and is never baselined.
+//!
+//! The same inventory plus the hot-path return-domain summaries are
+//! rendered as the `floatflow.dot` artifact, written to
+//! `docs/floatflow.dot` by `analyze --emit-floatflow`.
+
+use super::{Context, Finding, Pass, PassOutput, Severity};
+use crate::callgraph::CallGraph;
+use crate::floatflow::{hot_reach, FloatFlow};
+
+pub struct ReductionInventory;
+
+/// Kernels whose accumulation order is the documented contract
+/// (pinned bit-exactly by `crates/nn/tests/kernel_parity.rs`).
+fn blessed(name: &str) -> bool {
+    name.ends_with("_into") || name.ends_with("_rows")
+}
+
+impl Pass for ReductionInventory {
+    fn id(&self) -> &'static str {
+        "A12"
+    }
+
+    fn description(&self) -> &'static str {
+        "float-flow: inventory of float accumulation loops outside the \
+         blessed kernels, as-f32 narrowing casts, and mixed-width lines \
+         (Notes; the f32/SIMD tier pre-flight checklist)"
+    }
+
+    fn run(&self, ctx: &Context) -> PassOutput {
+        let mut out = PassOutput::default();
+        let graph = CallGraph::build(ctx);
+        let flow = FloatFlow::build(ctx, &graph);
+        let (_, reach) = hot_reach(&graph);
+        out.artifacts
+            .push(("floatflow.dot".to_string(), flow.to_dot(&graph, &reach)));
+        let fns = &graph.index.fns;
+
+        for acc in &flow.sites.accs {
+            let f = &fns[acc.fn_id];
+            if acc.in_test || blessed(&f.name) {
+                continue;
+            }
+            out.findings.push(Finding {
+                rule: "A12",
+                key: "float-flow",
+                severity: Severity::Note,
+                path: f.path.clone(),
+                line: acc.line,
+                message: format!(
+                    "float accumulation `{}` in loop of `{}` — summation order is \
+                     unpinned here; a vectorized tier would change these bits \
+                     (inventory note)",
+                    acc.target,
+                    f.display()
+                ),
+            });
+        }
+        for cast in &flow.sites.casts {
+            if cast.in_test {
+                continue;
+            }
+            let f = &fns[cast.fn_id];
+            out.findings.push(Finding {
+                rule: "A12",
+                key: "float-flow",
+                severity: Severity::Note,
+                path: f.path.clone(),
+                line: cast.line,
+                message: format!(
+                    "f32 narrowing `{}` in `{}` — precision boundary for the f32 \
+                     tier (inventory note)",
+                    cast.expr,
+                    f.display()
+                ),
+            });
+        }
+        for mixed in &flow.sites.mixed {
+            if mixed.in_test {
+                continue;
+            }
+            let f = &fns[mixed.fn_id];
+            out.findings.push(Finding {
+                rule: "A12",
+                key: "float-flow",
+                severity: Severity::Note,
+                path: f.path.clone(),
+                line: mixed.line,
+                message: format!(
+                    "line mixes f32 and f64 in `{}` — mixed-width arithmetic site \
+                     (inventory note)",
+                    f.display()
+                ),
+            });
+        }
+
+        // Shared-key suppression; misuse reporting lives in A10.
+        for file in &ctx.files {
+            let (allowed, _) = file.source.allows("float-flow");
+            out.findings
+                .retain(|f| !(f.path == file.source.path && allowed.contains(&f.line)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::passes::AnalyzedFile;
+    use crate::source::SourceFile;
+
+    fn run_on(files: &[(&str, &str)]) -> PassOutput {
+        let ctx = Context {
+            files: files
+                .iter()
+                .map(|(p, s)| {
+                    let source = SourceFile::parse(p, s);
+                    let tokens = lex(&source);
+                    AnalyzedFile { source, tokens }
+                })
+                .collect(),
+        };
+        ReductionInventory.run(&ctx)
+    }
+
+    #[test]
+    fn rogue_accumulation_loops_are_notes_and_never_failing() {
+        let out = run_on(&[(
+            "crates/ml/src/x.rs",
+            "pub fn total(xs: f64) -> f64 {\n\
+                 let mut acc = 0.0;\n\
+                 for x in xs { acc += x; }\n\
+                 acc\n\
+             }\n",
+        )]);
+        let notes: Vec<&Finding> = out.findings.iter().filter(|f| f.rule == "A12").collect();
+        assert_eq!(notes.len(), 1, "{:?}", out.findings);
+        assert_eq!(notes[0].severity, Severity::Note);
+        assert!(!notes[0].severity.is_failing());
+        assert!(notes[0].message.contains("`acc`"));
+    }
+
+    #[test]
+    fn blessed_kernels_are_exempt() {
+        let out = run_on(&[(
+            "crates/nn/src/tensor.rs",
+            "pub fn mm_rows(a: f64) -> f64 {\n\
+                 let mut acc = 0.0;\n\
+                 for x in a { acc += x; }\n\
+                 acc\n\
+             }\n\
+             pub fn axpy_into(a: f64) -> f64 {\n\
+                 let mut s = 0.0;\n\
+                 for x in a { s += x; }\n\
+                 s\n\
+             }\n",
+        )]);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn casts_and_mixed_width_lines_are_inventoried() {
+        let out = run_on(&[(
+            "crates/nn/src/x.rs",
+            "pub fn narrow(x: f64) -> f64 {\n\
+                 let y = x as f32;\n\
+                 (y as f64) * (x as f32 as f64)\n\
+             }\n",
+        )]);
+        let msgs: Vec<&str> = out
+            .findings
+            .iter()
+            .filter(|f| f.rule == "A12")
+            .map(|f| f.message.as_str())
+            .collect();
+        assert!(msgs.iter().any(|m| m.contains("f32 narrowing")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("mixes f32 and f64")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn the_floatflow_dot_artifact_is_always_emitted() {
+        let out = run_on(&[("crates/nn/src/x.rs", "pub fn quiet(x: f64) -> f64 { x }\n")]);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        let (name, dot) = &out.artifacts[0];
+        assert_eq!(name, "floatflow.dot");
+        assert!(dot.contains("digraph floatflow"));
+    }
+
+    #[test]
+    fn test_code_is_out_of_scope() {
+        let out = run_on(&[(
+            "crates/nn/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n\
+                 pub fn t(xs: f64) -> f64 {\n\
+                     let mut acc = 0.0;\n\
+                     for x in xs { acc += x; }\n\
+                     acc as f32 as f64\n\
+                 }\n\
+             }\n",
+        )]);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+}

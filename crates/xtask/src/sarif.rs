@@ -27,10 +27,22 @@ pub fn render(report: &AnalysisReport, passes: &[Box<dyn Pass>]) -> String {
     out.push_str("          \"informationUri\": \"https://github.com/LCS2-IIITD/RETINA\",\n");
     out.push_str("          \"rules\": [\n");
     for (i, pass) in passes.iter().enumerate() {
+        // The catalogue carries the long-form rationale and fix
+        // guidance shared with `xtask explain`.
+        let doc = crate::explain::lookup(pass.id());
+        let extra = match doc {
+            Some(d) => format!(
+                ", \"fullDescription\": {{\"text\": {}}}, \"help\": {{\"text\": {}}}",
+                json_str(d.rationale),
+                json_str(d.fix)
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}{}}}{}\n",
             json_str(pass.id()),
             json_str(pass.description()),
+            extra,
             if i + 1 < passes.len() { "," } else { "" }
         ));
     }
@@ -91,12 +103,23 @@ mod tests {
         assert!(s.contains("\\\"quotes\\\""));
         assert!(s.contains("rules"));
         // Every registered pass appears in the rule catalogue.
-        for id in ["A1", "A2", "A3", "A4", "A5", "A6"] {
+        for id in [
+            "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11", "A12",
+        ] {
             assert!(
                 s.contains(&format!("\"id\": \"{id}\"")),
                 "missing rule {id}"
             );
         }
+    }
+
+    #[test]
+    fn rules_carry_full_description_and_help_from_the_catalogue() {
+        let s = render(&sample_report(), &registry());
+        assert!(s.contains("\"fullDescription\""));
+        assert!(s.contains("\"help\""));
+        // Spot-check A10's guidance made it through.
+        assert!(s.contains("one degenerate batch away"));
     }
 
     #[test]
