@@ -36,6 +36,18 @@ cargo build --release
 step "cargo test"
 cargo test -q
 
+step "simd feature matrix"
+# The f32 inference tier ships an opt-in AVX2 dispatch path behind the
+# `simd` feature (DESIGN.md §13). Build it everywhere; run the nn parity
+# suites under it only when the host CPU can actually take the AVX2
+# branch, so bit-identity of simd-on vs simd-off is exercised for real.
+cargo build -q --release --features simd
+if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
+    cargo test -q -p nn --features simd
+else
+    echo "host CPU lacks AVX2 — simd build checked, runtime tests skipped"
+fi
+
 step "serving load-harness smoke"
 # Tiny request counts — proves the snapshot + batched-server path works
 # end to end (build snapshot, start workers, drain under load). Full

@@ -3,7 +3,7 @@
 //! experiment rests on.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use nn::{ExogenousAttention, Gru, Matrix};
+use nn::{AttentionF32, ExogenousAttention, Gru, GruF32, Matrix, MatrixF32};
 use socialsim::FollowerGraph;
 use std::hint::black_box;
 use text::{Doc2Vec, Doc2VecConfig, TfIdfConfig, TfIdfVectorizer};
@@ -87,6 +87,34 @@ fn bench_nn(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         )
+    });
+
+    // Inference-path pairs: forward-only at the same production shapes,
+    // f64 vs the f32 tier. The f32 layers are built once — the serving
+    // pattern — so steady-state scratch reuse is what's measured.
+    let mut att = ExogenousAttention::new(50, 50, 64, 0);
+    c.bench_function("nn/attention_infer_60news", |b| {
+        b.iter(|| black_box(att.forward(&xt, &xn)))
+    });
+    let mut att32 = AttentionF32::from_attention(&ExogenousAttention::new(50, 50, 64, 0));
+    let xt32 = MatrixF32::from_f64(&xt);
+    let xn32: Vec<MatrixF32> = xn.iter().map(MatrixF32::from_f64).collect();
+    c.bench_function("nn/attention_infer_60news_f32", |b| {
+        b.iter(|| {
+            black_box(att32.forward(&xt32, &xn32));
+        })
+    });
+
+    let mut gru = Gru::new(128, 64, 0);
+    c.bench_function("nn/gru_infer_6steps_batch64", |b| {
+        b.iter(|| black_box(gru.forward(&xs)))
+    });
+    let mut gru32 = GruF32::from_gru(&Gru::new(128, 64, 0));
+    let xs32: Vec<MatrixF32> = xs.iter().map(MatrixF32::from_f64).collect();
+    c.bench_function("nn/gru_infer_6steps_batch64_f32", |b| {
+        b.iter(|| {
+            black_box(gru32.forward(&xs32));
+        })
     });
 }
 

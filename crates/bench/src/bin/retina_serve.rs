@@ -26,7 +26,7 @@ use rand::{Rng, SeedableRng};
 use retina_core::retina::{PackedSample, Retina, RetinaConfig};
 use retina_core::snapshot::{PipelineState, Snapshot};
 use retina_core::trainer::{train_retina, TrainConfig};
-use serving::{PredictRequest, PredictionServer, ServerConfig, SubmitError};
+use serving::{Precision, PredictRequest, PredictionServer, ServerConfig, SubmitError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -162,15 +162,17 @@ struct Scenario {
     workers: usize,
     max_batch: usize,
     submitters: usize,
+    precision: Precision,
 }
 
-const SCENARIOS: [Scenario; 3] = [
+const SCENARIOS: [Scenario; 4] = [
     // Latency floor: one worker, no batching, one submitter.
     Scenario {
         name: "serve/static_w1_b1",
         workers: 1,
         max_batch: 1,
         submitters: 1,
+        precision: Precision::F64,
     },
     // The intended operating point: batching with a couple of workers.
     Scenario {
@@ -178,6 +180,7 @@ const SCENARIOS: [Scenario; 3] = [
         workers: 2,
         max_batch: 16,
         submitters: 4,
+        precision: Precision::F64,
     },
     // Saturation: more submitters than workers, deep batches.
     Scenario {
@@ -185,6 +188,15 @@ const SCENARIOS: [Scenario; 3] = [
         workers: 4,
         max_batch: 32,
         submitters: 8,
+        precision: Precision::F64,
+    },
+    // The operating point on the f32 inference tier.
+    Scenario {
+        name: "serve/static_f32_w2_b16",
+        workers: 2,
+        max_batch: 16,
+        submitters: 4,
+        precision: Precision::F32,
     },
 ];
 
@@ -201,6 +213,7 @@ fn run_scenario(snapshot: &Snapshot, sc: &Scenario, n_requests: u64) {
         queue_capacity: 128,
         max_batch: sc.max_batch,
         max_delay: Duration::from_millis(1),
+        precision: sc.precision,
     };
     let server = Arc::new(PredictionServer::start(snapshot, config).expect("start server"));
 

@@ -535,6 +535,44 @@ impl Retina {
         let targets = self.targets(sample);
         (bce.loss(&logits, &targets), bce.grad(&logits, &targets))
     }
+
+    /// Build the forward-only `f32` replica of this model for the
+    /// serving tier: every weight is narrowed `f64 → f32` once; input
+    /// normalization keeps the f64 scaler. See [`crate::infer32`] for
+    /// the tolerance contract.
+    pub fn to_f32_inference(&self) -> crate::infer32::RetinaF32 {
+        use crate::infer32::{CellF32, HeadF32, RetinaF32};
+        use nn::{AttentionF32, DenseF32, GruF32, LstmF32, MatrixF32, RnnF32};
+        let head = match &self.head {
+            Head::Static(out) => HeadF32::Static(DenseF32::from_dense(out)),
+            Head::Dynamic { cell, step, .. } => HeadF32::Dynamic {
+                cell: match cell {
+                    RecurrentCell::Gru(c) => CellF32::Gru(GruF32::from_gru(c)),
+                    RecurrentCell::Lstm(c) => CellF32::Lstm(LstmF32::from_lstm(c)),
+                    RecurrentCell::Rnn(c) => CellF32::Rnn(RnnF32::from_rnn(c)),
+                },
+                step: DenseF32::from_dense(step),
+            },
+        };
+        RetinaF32 {
+            mode: self.config.mode,
+            n_intervals: self.config.intervals.len(),
+            hdim: self.config.hdim,
+            user_dense: DenseF32::from_dense(&self.user_dense),
+            attention: self.attention.as_ref().map(AttentionF32::from_attention),
+            head,
+            scaler: self.scaler.clone(),
+            x: MatrixF32::zeros(0, 0),
+            hidden: MatrixF32::zeros(0, 0),
+            merged: MatrixF32::zeros(0, 0),
+            logits: MatrixF32::zeros(0, 0),
+            step_out: MatrixF32::zeros(0, 0),
+            xt: MatrixF32::zeros(0, 0),
+            xn: Vec::new(),
+            xs: Vec::new(),
+            ctx_zero: MatrixF32::zeros(0, 0),
+        }
+    }
 }
 
 fn sigmoid(x: f64) -> f64 {

@@ -115,6 +115,16 @@ impl Trainer {
     }
 }
 
+/// Batch-score `samples` on the f32 inference tier: narrows the trained
+/// model once via [`Retina::to_f32_inference`] and reuses the replica's
+/// warm scratch across the whole batch. This is the post-training
+/// predict path for throughput-bound evaluation; per-sample tolerance
+/// vs [`Retina::predict_proba`] is documented in [`crate::infer32`].
+pub fn predict_proba_f32(model: &Retina, samples: &[PackedSample]) -> Vec<Vec<f64>> {
+    let mut replica = model.to_f32_inference();
+    samples.iter().map(|s| replica.predict_proba(s)).collect()
+}
+
 /// Train a RETINA model in place; returns the mean training loss per
 /// epoch (useful for convergence checks).
 pub fn train_retina(model: &mut Retina, train: &[PackedSample], config: &TrainConfig) -> Vec<f64> {
@@ -238,6 +248,31 @@ mod tests {
         let p = m.predict_proba(&data[0]);
         let auc = ml::metrics::roc_auc(&data[0].labels, &p);
         assert!(auc > 0.9, "AUC {auc} after training on separable data");
+    }
+
+    #[test]
+    fn f32_predict_path_tracks_f64_model() {
+        for cfg in [
+            RetinaConfig::static_default(),
+            RetinaConfig::dynamic_default(),
+        ] {
+            let data = toy_data(20, 6);
+            let mut m = Retina::new(12, cfg);
+            // A couple of epochs is enough: parity holds for any trained
+            // weights, and the full default schedule is slow un-optimized.
+            let tc = TrainConfig {
+                epochs: 2,
+                ..TrainConfig::static_default()
+            };
+            train_retina(&mut m, &data, &tc);
+            let got = predict_proba_f32(&m, &data);
+            for (s, g) in data.iter().zip(&got) {
+                let want = m.predict_proba(s);
+                for (w, p) in want.iter().zip(g) {
+                    assert!((w - p).abs() < 1e-3, "f32 tier drifted: {w} vs {p}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   sequences (the paper ablates GRU vs LSTM vs simple RNN).
 //! * [`attention`] — the exogenous scaled dot-product attention of Eqs.
 //!   3–5.
+//! * [`tensor32`], [`infer32`] — the `f32` inference tier: a `MatrixF32`
+//!   with the same blocked kernels (optional AVX2 path behind
+//!   `--features simd`, bit-identical to the scalar fallback) and
+//!   forward-only `f32` replicas of the layers above, built by
+//!   narrowing a trained `f64` model once.
 //! * [`loss`] — weighted BCE (Eq. 6) computed on logits for stability.
 //! * [`optim`] — SGD and Adam.
 //! * [`gradcheck`] — finite-difference gradient verification used by the
@@ -36,6 +41,7 @@ pub mod dense;
 pub mod embedding;
 pub mod gradcheck;
 pub mod gru;
+pub mod infer32;
 pub mod loss;
 pub mod lstm;
 pub mod optim;
@@ -44,12 +50,14 @@ pub mod param;
 pub mod rnn;
 pub mod sanitize;
 pub mod tensor;
+pub mod tensor32;
 
 pub use activation::{Activation, ActivationKind};
 pub use attention::ExogenousAttention;
 pub use dense::Dense;
 pub use embedding::Embedding;
 pub use gru::Gru;
+pub use infer32::{fast_sigmoid32, fast_tanh32, AttentionF32, DenseF32, GruF32, LstmF32, RnnF32};
 pub use loss::WeightedBce;
 pub use lstm::Lstm;
 pub use optim::{Adam, Optimizer, Sgd};
@@ -57,3 +65,4 @@ pub use param::Param;
 pub use rnn::SimpleRnn;
 pub use sanitize::NumericError;
 pub use tensor::{Matrix, MatrixPool};
+pub use tensor32::{MatrixF32, MatrixF32Pool};

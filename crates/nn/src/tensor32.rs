@@ -1,0 +1,775 @@
+//! `f32` matrices for the inference tier — storage-half, SIMD-friendly
+//! replicas of the [`crate::tensor`] kernels.
+//!
+//! Training stays `f64` end to end; this module exists so a *frozen*
+//! model can be narrowed once (see `MatrixF32::from_f64`) and then
+//! served with half the memory traffic and wider vector lanes. The
+//! kernel contract mirrors `tensor.rs` exactly:
+//!
+//! * Per output element the reduction runs over `k` strictly ascending;
+//!   the [`crate::tensor::KERNEL_BLOCK`]-wide unroll adds its partial
+//!   products one at a time. Rust never reassociates float arithmetic,
+//!   so the blocked kernels are bit-identical to the naive triple loop
+//!   (pinned by `crates/nn/tests/kernel_parity.rs`).
+//! * Row partitioning via [`crate::par`] keeps output rows disjoint —
+//!   the thread count can never change a single bit.
+//! * The inner loops run over the *output columns*: each lane of a
+//!   vector register holds an independent output element whose own
+//!   accumulation order is untouched, so the autovectorizer is free to
+//!   emit 4-wide SSE2 (default build) or 8-wide AVX2 (`--features
+//!   simd`, runtime-dispatched) without changing results. No FMA is
+//!   ever emitted from this source (Rust does not contract `a*b + c`),
+//!   which is what makes scalar, SSE2 and AVX2 runs bit-equivalent.
+//!
+//! The `simd` feature adds `#[target_feature(enable = "avx2")]` clones
+//! of the kernels compiled from this same source — same instruction
+//! semantics, wider registers — behind an `is_x86_feature_detected!`
+//! dispatch. On CPUs without AVX2 (or off x86_64) the default build's
+//! kernels run unchanged.
+
+use crate::tensor::{Matrix, KERNEL_BLOCK};
+
+/// Reduction-dimension tile length, matching `tensor.rs`'s private
+/// `K_TILE`: the active `b` panel is reused across every output row
+/// before the next tile is touched.
+const K_TILE: usize = 32;
+
+/// A dense row-major `rows × cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixF32 {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a closure over (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Build from a flat row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Narrow an `f64` matrix to `f32` storage — THE precision boundary
+    /// of the inference tier: weights cross it exactly once, at model
+    /// conversion time, with round-to-nearest-even per element.
+    pub fn from_f64(src: &Matrix) -> Self {
+        Self {
+            rows: src.rows(),
+            cols: src.cols(),
+            // lint: allow(float-flow) deliberate one-time f64→f32 narrowing at the inference-tier boundary; lint: allow(lossy-cast) finite model weights are far inside f32 range
+            data: src.data().iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Widen back to `f64` (exact — every `f32` is representable).
+    pub fn to_f64(&self) -> Matrix {
+        // lint: allow(float-flow) exact f32→f64 widening for parity tests and logit output
+        Matrix::from_fn(self.rows, self.cols, |r, c| self.get(r, c) as f64)
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat data access.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable data access.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reshape to `rows × cols`, zero-filled, keeping the allocation.
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshape without zeroing — every element is about to be overwritten
+    /// by a kernel, so stale contents are fine. Private on purpose.
+    fn reshape_for_write(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Become a copy of `other`, reusing the allocation.
+    pub fn copy_from(&mut self, other: &MatrixF32) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Become the narrowed copy of an `f64` matrix, reusing the
+    /// allocation (the steady-state input boundary of the f32 tier).
+    pub fn copy_from_f64(&mut self, src: &Matrix) {
+        self.rows = src.rows();
+        self.cols = src.cols();
+        self.data.clear();
+        // lint: allow(float-flow) deliberate f64→f32 narrowing at the inference input boundary; lint: allow(lossy-cast) finite scaled inputs are far inside f32 range
+        self.data.extend(src.data().iter().map(|&v| v as f32));
+    }
+
+    /// Stack same-width matrices vertically into `out` (rows in item
+    /// order), reusing `out`'s allocation.
+    pub fn vstack_into(items: &[MatrixF32], out: &mut MatrixF32) {
+        assert!(!items.is_empty(), "vstack needs at least one matrix");
+        let cols = items[0].cols;
+        assert!(
+            items.iter().all(|m| m.cols == cols),
+            "vstack width mismatch"
+        );
+        out.rows = items.iter().map(|m| m.rows).sum();
+        out.cols = cols;
+        out.data.clear();
+        for m in items {
+            out.data.extend_from_slice(&m.data);
+        }
+    }
+
+    /// Matrix product `self (r×k) · other (k×c) -> (r×c)`.
+    pub fn matmul(&self, other: &MatrixF32) -> MatrixF32 {
+        let mut out = MatrixF32::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`MatrixF32::matmul`] into a caller-owned buffer (resized as
+    /// needed). `out` must not alias `self` or `other`.
+    pub fn matmul_into(&self, other: &MatrixF32, out: &mut MatrixF32) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.reshape_for_write(self.rows, other.cols);
+        let workers = par_workers(self.rows, self.rows * self.cols * other.cols);
+        crate::par::for_each_row_chunk(&mut out.data, other.cols, workers, |first_row, chunk| {
+            mm32_dispatch(self, other, first_row, chunk);
+        });
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &MatrixF32) -> MatrixF32 {
+        let mut out = MatrixF32::zeros(0, 0);
+        self.t_matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`MatrixF32::t_matmul`] into a caller-owned buffer (resized as
+    /// needed). `out` must not alias `self` or `other`.
+    pub fn t_matmul_into(&self, other: &MatrixF32, out: &mut MatrixF32) {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        out.reshape_for_write(self.cols, other.cols);
+        let workers = par_workers(self.cols, self.rows * self.cols * other.cols);
+        crate::par::for_each_row_chunk(&mut out.data, other.cols, workers, |first_row, chunk| {
+            tmm32_dispatch(self, other, first_row, chunk);
+        });
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, other: &MatrixF32) -> MatrixF32 {
+        let mut out = MatrixF32::zeros(0, 0);
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// [`MatrixF32::matmul_t`] into a caller-owned buffer (resized as
+    /// needed). `out` must not alias `self` or `other`.
+    pub fn matmul_t_into(&self, other: &MatrixF32, out: &mut MatrixF32) {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        out.reshape_for_write(self.rows, other.rows);
+        let workers = par_workers(self.rows, self.rows * self.cols * other.rows);
+        crate::par::for_each_row_chunk(&mut out.data, other.rows, workers, |first_row, chunk| {
+            mmt32_dispatch(self, other, first_row, chunk);
+        });
+    }
+
+    /// Elementwise map in place.
+    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
+        for v in self.data.iter_mut() {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise combine in place: `self[i] = f(self[i], other[i])`.
+    pub fn zip_assign(&mut self, other: &MatrixF32, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = f(*a, b);
+        }
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &MatrixF32) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place Hadamard product.
+    pub fn hadamard_assign(&mut self, other: &MatrixF32) {
+        self.zip_assign(other, |a, b| a * b);
+    }
+
+    /// In-place row-vector broadcast add.
+    pub fn add_row_broadcast_assign(&mut self, bias: &MatrixF32) {
+        assert_eq!(bias.rows, 1);
+        assert_eq!(bias.cols, self.cols);
+        for r in 0..self.rows {
+            for (v, &b) in self.row_mut(r).iter_mut().zip(&bias.data) {
+                *v += b;
+            }
+        }
+    }
+
+    /// In-place row-wise softmax (max-subtracted, matching `tensor.rs`).
+    pub fn softmax_rows_assign(&mut self) {
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+
+    /// Fill with zeros (reuse allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+/// Worker count, same policy as `tensor.rs`: serial below the parallel
+/// flop threshold, else the resolved thread knob. Never changes results.
+fn par_workers(out_rows: usize, flops: usize) -> usize {
+    if out_rows < 2 || flops < crate::par::MIN_PAR_FLOPS {
+        1
+    } else {
+        crate::par::threads()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel dispatch: default build runs the portable kernels below (the
+// autovectorizer emits 4-wide SSE2 for the column loops); with
+// `--features simd` on x86_64 an AVX2 clone of the *same source* is
+// selected at runtime when the CPU supports it. Both paths execute the
+// identical sequence of IEEE-754 operations per output element, so
+// they are bit-equivalent — pinned by kernel_parity and the CI feature
+// matrix.
+// ---------------------------------------------------------------------
+
+fn mm32_dispatch(a: &MatrixF32, b: &MatrixF32, first_row: usize, out_chunk: &mut [f32]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was verified at runtime on the line
+        // above; the target_feature clone has no other requirements.
+        #[allow(unsafe_code)]
+        // lint: allow(panic-reach) feature-gated intrinsic dispatch, no panic path
+        unsafe {
+            return simd::mm32_rows_avx2(a, b, first_row, out_chunk);
+        }
+    }
+    mm32_rows(a, b, first_row, out_chunk);
+}
+
+fn tmm32_dispatch(a: &MatrixF32, b: &MatrixF32, first_row: usize, out_chunk: &mut [f32]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was verified at runtime on the line
+        // above; the target_feature clone has no other requirements.
+        #[allow(unsafe_code)]
+        // lint: allow(panic-reach) feature-gated intrinsic dispatch, no panic path
+        unsafe {
+            return simd::tmm32_rows_avx2(a, b, first_row, out_chunk);
+        }
+    }
+    tmm32_rows(a, b, first_row, out_chunk);
+}
+
+fn mmt32_dispatch(a: &MatrixF32, b: &MatrixF32, first_row: usize, out_chunk: &mut [f32]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was verified at runtime on the line
+        // above; the target_feature clone has no other requirements.
+        #[allow(unsafe_code)]
+        // lint: allow(panic-reach) feature-gated intrinsic dispatch, no panic path
+        unsafe {
+            return simd::mmt32_rows_avx2(a, b, first_row, out_chunk);
+        }
+    }
+    mmt32_rows(a, b, first_row, out_chunk);
+}
+
+/// `matmul` kernel for output rows `[first_row, first_row + n)`.
+///
+/// Same structure and accumulation order as `tensor.rs::mm_rows`: the
+/// reduction is tiled by [`K_TILE`], unrolled by [`KERNEL_BLOCK`], and
+/// per output element the partial products land strictly in ascending
+/// `k`. The inner `j` loop walks the output row with every operand a
+/// same-length slice — the shape LLVM's autovectorizer turns into
+/// packed `mulps`/`addps` (lanes = independent output columns).
+#[inline(always)]
+fn mm32_rows(a: &MatrixF32, b: &MatrixF32, first_row: usize, out_chunk: &mut [f32]) {
+    let cols = b.cols;
+    let kk = a.cols;
+    if cols == 0 {
+        return;
+    }
+    let n_rows = out_chunk.len() / cols;
+    out_chunk.fill(0.0);
+    let mut k0 = 0;
+    while k0 < kk {
+        let k_end = (k0 + K_TILE).min(kk);
+        for ri in 0..n_rows {
+            let arow = a.row(first_row + ri);
+            let out_row = &mut out_chunk[ri * cols..(ri + 1) * cols];
+            let mut k = k0;
+            while k + KERNEL_BLOCK <= k_end {
+                let (v0, v1, v2, v3) = (arow[k], arow[k + 1], arow[k + 2], arow[k + 3]);
+                let (v4, v5, v6, v7) = (arow[k + 4], arow[k + 5], arow[k + 6], arow[k + 7]);
+                // lint: allow(float-cmp) sparsity fast path skips exact zeros only
+                let live_lo = v0 != 0.0 || v1 != 0.0 || v2 != 0.0 || v3 != 0.0;
+                // lint: allow(float-cmp) sparsity fast path skips exact zeros only
+                let live_hi = v4 != 0.0 || v5 != 0.0 || v6 != 0.0 || v7 != 0.0;
+                if live_lo || live_hi {
+                    let (b0, b1, b2, b3) = (b.row(k), b.row(k + 1), b.row(k + 2), b.row(k + 3));
+                    let (b4, b5, b6, b7) = (b.row(k + 4), b.row(k + 5), b.row(k + 6), b.row(k + 7));
+                    for ((((((((o, &w0), &w1), &w2), &w3), &w4), &w5), &w6), &w7) in out_row
+                        .iter_mut()
+                        .zip(b0)
+                        .zip(b1)
+                        .zip(b2)
+                        .zip(b3)
+                        .zip(b4)
+                        .zip(b5)
+                        .zip(b6)
+                        .zip(b7)
+                    {
+                        let mut acc = *o;
+                        acc += v0 * w0;
+                        acc += v1 * w1;
+                        acc += v2 * w2;
+                        acc += v3 * w3;
+                        acc += v4 * w4;
+                        acc += v5 * w5;
+                        acc += v6 * w6;
+                        acc += v7 * w7;
+                        *o = acc;
+                    }
+                }
+                k += KERNEL_BLOCK;
+            }
+            while k < k_end {
+                let v = arow[k];
+                // lint: allow(float-cmp) sparsity fast path skips exact zeros only
+                if v != 0.0 {
+                    for (o, &w) in out_row.iter_mut().zip(b.row(k)) {
+                        *o += v * w;
+                    }
+                }
+                k += 1;
+            }
+        }
+        k0 = k_end;
+    }
+}
+
+/// `t_matmul` kernel for output rows `[first_row, first_row + n)` —
+/// output row `i` is `Σ_r a[r, first_row + i] · b[r, :]` with `r`
+/// ascending, exactly as in `tensor.rs::tmm_rows`.
+#[inline(always)]
+fn tmm32_rows(a: &MatrixF32, b: &MatrixF32, first_row: usize, out_chunk: &mut [f32]) {
+    let cols = b.cols;
+    if cols == 0 {
+        return;
+    }
+    let n_out = out_chunk.len() / cols;
+    out_chunk.fill(0.0);
+    let mut r = 0;
+    while r + KERNEL_BLOCK <= a.rows {
+        let a0 = &a.row(r)[first_row..first_row + n_out];
+        let a1 = &a.row(r + 1)[first_row..first_row + n_out];
+        let a2 = &a.row(r + 2)[first_row..first_row + n_out];
+        let a3 = &a.row(r + 3)[first_row..first_row + n_out];
+        let a4 = &a.row(r + 4)[first_row..first_row + n_out];
+        let a5 = &a.row(r + 5)[first_row..first_row + n_out];
+        let a6 = &a.row(r + 6)[first_row..first_row + n_out];
+        let a7 = &a.row(r + 7)[first_row..first_row + n_out];
+        let (b0, b1, b2, b3) = (b.row(r), b.row(r + 1), b.row(r + 2), b.row(r + 3));
+        let (b4, b5, b6, b7) = (b.row(r + 4), b.row(r + 5), b.row(r + 6), b.row(r + 7));
+        for i in 0..n_out {
+            let (v0, v1, v2, v3) = (a0[i], a1[i], a2[i], a3[i]);
+            let (v4, v5, v6, v7) = (a4[i], a5[i], a6[i], a7[i]);
+            // lint: allow(float-cmp) sparsity fast path skips exact zeros only
+            let zero_lo = v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0;
+            // lint: allow(float-cmp) sparsity fast path skips exact zeros only
+            let zero_hi = v4 == 0.0 && v5 == 0.0 && v6 == 0.0 && v7 == 0.0;
+            if zero_lo && zero_hi {
+                continue;
+            }
+            let orow = &mut out_chunk[i * cols..(i + 1) * cols];
+            for ((((((((o, &w0), &w1), &w2), &w3), &w4), &w5), &w6), &w7) in orow
+                .iter_mut()
+                .zip(b0)
+                .zip(b1)
+                .zip(b2)
+                .zip(b3)
+                .zip(b4)
+                .zip(b5)
+                .zip(b6)
+                .zip(b7)
+            {
+                let mut acc = *o;
+                acc += v0 * w0;
+                acc += v1 * w1;
+                acc += v2 * w2;
+                acc += v3 * w3;
+                acc += v4 * w4;
+                acc += v5 * w5;
+                acc += v6 * w6;
+                acc += v7 * w7;
+                *o = acc;
+            }
+        }
+        r += KERNEL_BLOCK;
+    }
+    while r < a.rows {
+        let arow = &a.row(r)[first_row..first_row + n_out];
+        let brow = b.row(r);
+        for (i, &v) in arow.iter().enumerate() {
+            // lint: allow(float-cmp) sparsity fast path skips exact zeros only
+            if v == 0.0 {
+                continue;
+            }
+            let orow = &mut out_chunk[i * cols..(i + 1) * cols];
+            for (o, &w) in orow.iter_mut().zip(brow) {
+                *o += v * w;
+            }
+        }
+        r += 1;
+    }
+}
+
+/// `matmul_t` kernel for output rows `[first_row, first_row + n)` —
+/// [`KERNEL_BLOCK`] independent dot products at a time, each strictly
+/// sequential in its reduction, as in `tensor.rs::mmt_rows`.
+#[inline(always)]
+fn mmt32_rows(a: &MatrixF32, b: &MatrixF32, first_row: usize, out_chunk: &mut [f32]) {
+    let n_b = b.rows;
+    if n_b == 0 {
+        return;
+    }
+    for (ri, out_row) in out_chunk.chunks_mut(n_b).enumerate() {
+        let arow = a.row(first_row + ri);
+        let mut rr = 0;
+        while rr + KERNEL_BLOCK <= n_b {
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            let (mut s4, mut s5, mut s6, mut s7) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for ((((((((&av, &w0), &w1), &w2), &w3), &w4), &w5), &w6), &w7) in arow
+                .iter()
+                .zip(b.row(rr))
+                .zip(b.row(rr + 1))
+                .zip(b.row(rr + 2))
+                .zip(b.row(rr + 3))
+                .zip(b.row(rr + 4))
+                .zip(b.row(rr + 5))
+                .zip(b.row(rr + 6))
+                .zip(b.row(rr + 7))
+            {
+                s0 += av * w0;
+                s1 += av * w1;
+                s2 += av * w2;
+                s3 += av * w3;
+                s4 += av * w4;
+                s5 += av * w5;
+                s6 += av * w6;
+                s7 += av * w7;
+            }
+            out_row[rr] = s0;
+            out_row[rr + 1] = s1;
+            out_row[rr + 2] = s2;
+            out_row[rr + 3] = s3;
+            out_row[rr + 4] = s4;
+            out_row[rr + 5] = s5;
+            out_row[rr + 6] = s6;
+            out_row[rr + 7] = s7;
+            rr += KERNEL_BLOCK;
+        }
+        while rr < n_b {
+            let mut s = 0.0;
+            for (&av, &w) in arow.iter().zip(b.row(rr)) {
+                s += av * w;
+            }
+            out_row[rr] = s;
+            rr += 1;
+        }
+    }
+}
+
+/// AVX2 clones of the three kernels: the *same Rust source* compiled
+/// with `#[target_feature(enable = "avx2")]` so LLVM's autovectorizer
+/// widens the column loops to 8 `f32` lanes. AVX2 does not imply FMA
+/// here (the feature set enables only `avx2`, and Rust never contracts
+/// `a*b + c` on its own), so every per-element operation sequence — and
+/// therefore every output bit — matches the portable kernels above.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd {
+    use super::MatrixF32;
+
+    #[target_feature(enable = "avx2")]
+    pub fn mm32_rows_avx2(a: &MatrixF32, b: &MatrixF32, first_row: usize, out_chunk: &mut [f32]) {
+        super::mm32_rows(a, b, first_row, out_chunk);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn tmm32_rows_avx2(a: &MatrixF32, b: &MatrixF32, first_row: usize, out_chunk: &mut [f32]) {
+        super::tmm32_rows(a, b, first_row, out_chunk);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn mmt32_rows_avx2(a: &MatrixF32, b: &MatrixF32, first_row: usize, out_chunk: &mut [f32]) {
+        super::mmt32_rows(a, b, first_row, out_chunk);
+    }
+}
+
+/// A free-list of [`MatrixF32`] buffers for scratch reuse inside the
+/// f32 forward passes, mirroring [`crate::tensor::MatrixPool`]: a
+/// grabbed matrix is indistinguishable from a fresh `zeros`.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixF32Pool {
+    free: Vec<MatrixF32>,
+}
+
+impl MatrixF32Pool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zeroed `rows × cols` matrix, reusing a recycled allocation when
+    /// one is available.
+    pub fn grab(&mut self, rows: usize, cols: usize) -> MatrixF32 {
+        match self.free.pop() {
+            Some(mut m) => {
+                m.resize_to(rows, cols);
+                m
+            }
+            None => MatrixF32::zeros(rows, cols),
+        }
+    }
+
+    /// Return a buffer to the free list.
+    pub fn recycle(&mut self, m: MatrixF32) {
+        self.free.push(m);
+    }
+
+    /// Number of buffers currently on the free list.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether the free list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_hand_example() {
+        let a = MatrixF32::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = MatrixF32::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transposed_products_match_explicit_forms() {
+        let a = MatrixF32::from_fn(5, 7, |r, c| (r * 7 + c) as f32 * 0.25 - 4.0);
+        let b = MatrixF32::from_fn(5, 3, |r, c| (r + c) as f32 * 0.5 - 1.0);
+        let fast = a.t_matmul(&b);
+        let slow = MatrixF32::from_fn(7, 3, |i, j| {
+            let mut acc = 0.0;
+            for k in 0..5 {
+                acc += a.get(k, i) * b.get(k, j);
+            }
+            acc
+        });
+        assert_eq!(fast.data(), slow.data());
+
+        let bt = MatrixF32::from_fn(4, 7, |r, c| (r * 3 + c) as f32 * 0.125 - 1.5);
+        let fast = a.matmul_t(&bt);
+        let slow = MatrixF32::from_fn(5, 4, |i, j| {
+            let mut acc = 0.0;
+            for k in 0..7 {
+                acc += a.get(i, k) * bt.get(j, k);
+            }
+            acc
+        });
+        assert_eq!(fast.data(), slow.data());
+    }
+
+    #[test]
+    fn from_f64_narrows_and_to_f64_widens_exactly() {
+        let src = Matrix::from_vec(2, 2, vec![1.5, -0.25, 3.0, 0.1]);
+        let narrow = MatrixF32::from_f64(&src);
+        assert_eq!(narrow.get(0, 0), 1.5);
+        assert_eq!(narrow.get(1, 1), 0.1f64 as f32);
+        let wide = narrow.to_f64();
+        // Widening is exact: round-tripping the narrowed values changes
+        // nothing.
+        assert_eq!(MatrixF32::from_f64(&wide).data(), narrow.data());
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_resize() {
+        let a = MatrixF32::from_fn(5, 7, |r, c| ((r * 13 + c * 7) % 11) as f32 - 5.0);
+        let b = MatrixF32::from_fn(7, 3, |r, c| ((r * 5 + c * 3) % 9) as f32 - 4.0);
+        let mut out = MatrixF32::from_vec(2, 2, vec![9., 9., 9., 9.]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        a.t_matmul_into(&a, &mut out);
+        assert_eq!(out, a.t_matmul(&a));
+        a.matmul_t_into(&a, &mut out);
+        assert_eq!(out, a.matmul_t(&a));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_stable() {
+        let mut m = MatrixF32::from_vec(2, 3, vec![100., 101., 102., -5., 0., 5.]);
+        m.softmax_rows_assign();
+        for r in 0..2 {
+            let sum: f32 = m.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(m.row(r).iter().all(|v| v.is_finite()));
+        }
+        assert!(m.get(0, 2) > m.get(0, 1));
+    }
+
+    #[test]
+    fn elementwise_ops_match_reference() {
+        let mut m = MatrixF32::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let other = MatrixF32::from_vec(2, 2, vec![10., 20., 30., 40.]);
+        m.add_assign(&other);
+        assert_eq!(m.data(), &[11., 22., 33., 44.]);
+        m.hadamard_assign(&other);
+        assert_eq!(m.data(), &[110., 440., 990., 1760.]);
+        let bias = MatrixF32::from_vec(1, 2, vec![1., -1.]);
+        m.add_row_broadcast_assign(&bias);
+        assert_eq!(m.data(), &[111., 439., 991., 1759.]);
+        m.map_assign(|v| v * 0.0);
+        assert_eq!(m.data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn pool_grab_is_indistinguishable_from_fresh_zeros() {
+        let mut pool = MatrixF32Pool::new();
+        let mut m = pool.grab(2, 3);
+        assert_eq!(m, MatrixF32::zeros(2, 3));
+        m.set(1, 2, 42.0);
+        pool.recycle(m);
+        assert_eq!(pool.len(), 1);
+        let m = pool.grab(3, 2);
+        assert_eq!(m, MatrixF32::zeros(3, 2));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn vstack_into_stacks_in_item_order() {
+        let items = vec![
+            MatrixF32::from_vec(1, 2, vec![1., 2.]),
+            MatrixF32::from_vec(2, 2, vec![3., 4., 5., 6.]),
+        ];
+        let mut out = MatrixF32::zeros(9, 9);
+        MatrixF32::vstack_into(&items, &mut out);
+        assert_eq!((out.rows(), out.cols()), (3, 2));
+        assert_eq!(out.data(), &[1., 2., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn empty_products_are_well_formed() {
+        let a = MatrixF32::zeros(3, 0);
+        let b = MatrixF32::zeros(0, 4);
+        let c = a.matmul(&b);
+        assert_eq!((c.rows(), c.cols()), (3, 4));
+        assert_eq!(c, MatrixF32::zeros(3, 4));
+        let d = MatrixF32::zeros(2, 5).matmul(&MatrixF32::zeros(5, 0));
+        assert_eq!((d.rows(), d.cols()), (2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = MatrixF32::zeros(2, 3);
+        let b = MatrixF32::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

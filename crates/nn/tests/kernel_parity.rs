@@ -10,6 +10,7 @@
 
 use nn::gradcheck::seq::check_recurrent_gradients;
 use nn::tensor::Matrix;
+use nn::tensor32::MatrixF32;
 use nn::{Gru, Lstm};
 
 fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
@@ -192,6 +193,125 @@ fn repeated_forward_through_reused_scratch_is_bit_identical() {
         let again = lstm.forward(&xs);
         for (t, (y0, y1)) in first.iter().zip(&again).enumerate() {
             assert_eq!(y0.data(), y1.data(), "LSTM step {t} drifted on reuse");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// f32 tier (nn::tensor32) — same contract, plus a tolerance bound
+// against the f64 kernels.
+// ---------------------------------------------------------------------
+
+fn naive_matmul32(a: &MatrixF32, b: &MatrixF32) -> MatrixF32 {
+    MatrixF32::from_fn(a.rows(), b.cols(), |i, j| {
+        let mut acc = 0.0f32;
+        for k in 0..a.cols() {
+            acc += a.get(i, k) * b.get(k, j);
+        }
+        acc
+    })
+}
+
+fn naive_t_matmul32(a: &MatrixF32, b: &MatrixF32) -> MatrixF32 {
+    MatrixF32::from_fn(a.cols(), b.cols(), |i, j| {
+        let mut acc = 0.0f32;
+        for k in 0..a.rows() {
+            acc += a.get(k, i) * b.get(k, j);
+        }
+        acc
+    })
+}
+
+fn naive_matmul_t32(a: &MatrixF32, b: &MatrixF32) -> MatrixF32 {
+    MatrixF32::from_fn(a.rows(), b.rows(), |i, j| {
+        let mut acc = 0.0f32;
+        for k in 0..a.cols() {
+            acc += a.get(i, k) * b.get(j, k);
+        }
+        acc
+    })
+}
+
+/// Bit identity of the f32 kernels against the naive f32 triple loop,
+/// across thread counts. This is also the simd-on/simd-off identity
+/// proof: the CI matrix runs this same test with and without
+/// `--features simd`, and both legs must equal the *same* scalar
+/// reference — hence each other.
+#[test]
+fn f32_kernels_match_naive_bitwise_across_thread_counts() {
+    for threads in [1usize, 2, 8] {
+        nn::par::set_threads(threads);
+        for &(m, k, n) in &SHAPES {
+            let a = MatrixF32::from_f64(&fill(m, k, 1));
+            let b = MatrixF32::from_f64(&fill(k, n, 2));
+            assert_eq!(
+                a.matmul(&b).data(),
+                naive_matmul32(&a, &b).data(),
+                "f32 matmul {m}x{k}x{n} at {threads} threads"
+            );
+
+            let at = MatrixF32::from_f64(&fill(k, m, 3));
+            assert_eq!(
+                at.t_matmul(&b).data(),
+                naive_t_matmul32(&at, &b).data(),
+                "f32 t_matmul {m}x{k}x{n} at {threads} threads"
+            );
+
+            let bt = MatrixF32::from_f64(&fill(n, k, 4));
+            assert_eq!(
+                a.matmul_t(&bt).data(),
+                naive_matmul_t32(&a, &bt).data(),
+                "f32 matmul_t {m}x{k}x{n} at {threads} threads"
+            );
+        }
+    }
+    nn::par::set_threads(1);
+}
+
+#[test]
+fn f32_into_variants_reuse_buffers_without_changing_bits() {
+    let mut out = MatrixF32::zeros(0, 0);
+    for &(m, k, n) in &SHAPES {
+        let a = MatrixF32::from_f64(&fill(m, k, 5));
+        let b = MatrixF32::from_f64(&fill(k, n, 6));
+        a.matmul_into(&b, &mut out);
+        assert_eq!(
+            out.data(),
+            naive_matmul32(&a, &b).data(),
+            "f32 matmul_into {m}x{k}x{n}"
+        );
+    }
+}
+
+/// Tolerance contract of the f32 tier against f64 (DESIGN.md §13).
+///
+/// Inputs are narrowed to f32 and then widened back, so both kernels
+/// see *identical* values and the measured gap is pure accumulation
+/// error: per output element, `k` sequential f32 rounding steps, each
+/// bounded by relative 2⁻²³ ≈ 1.2e-7. For the largest shape here
+/// (k = 131) the worst case is ≈ 1.6e-5 relative; 1e-4 leaves margin
+/// without masking a broken kernel.
+#[test]
+fn f32_kernels_track_f64_within_documented_relative_error() {
+    const REL_TOL: f64 = 1e-4;
+    for &(m, k, n) in &SHAPES {
+        let a32 = MatrixF32::from_f64(&fill(m, k, 7));
+        let b32 = MatrixF32::from_f64(&fill(k, n, 8));
+        // Widen exactly: the f64 reference runs on the f32-rounded values.
+        let a64 = a32.to_f64();
+        let b64 = b32.to_f64();
+        let want = naive_matmul(&a64, &b64);
+        let got = a32.matmul(&b32);
+        for i in 0..m {
+            for j in 0..n {
+                let w = want.get(i, j);
+                let g = f64::from(got.get(i, j));
+                let scale = w.abs().max(1.0);
+                assert!(
+                    (w - g).abs() / scale <= REL_TOL,
+                    "f32 matmul {m}x{k}x{n} at ({i},{j}): {w} vs {g}"
+                );
+            }
         }
     }
 }

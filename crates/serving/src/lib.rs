@@ -28,6 +28,6 @@
 pub mod server;
 
 pub use server::{
-    PredictRequest, Prediction, PredictionServer, ServeError, ServerConfig, ServerStats,
+    Precision, PredictRequest, Prediction, PredictionServer, ServeError, ServerConfig, ServerStats,
     SubmitError, Ticket,
 };

@@ -10,12 +10,30 @@
 //! has no condvar). All lock acquisitions recover from poisoning via
 //! `into_inner` — a panicking peer must degrade service, not wedge it.
 
+use retina_core::infer32::RetinaF32;
 use retina_core::retina::{PackedSample, Retina};
 use retina_core::snapshot::{Snapshot, SnapshotError};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Numeric tier the worker replicas run in.
+///
+/// `F32` restores the f64 model once, narrows it via
+/// [`Retina::to_f32_inference`], and serves on the `nn::tensor32`
+/// kernels. Probabilities stay `f64` on the wire; the divergence from
+/// `F64` is bounded by the tolerance contract in `retina_core::infer32`
+/// (DESIGN.md §13), and for a fixed request the answer is bit-identical
+/// regardless of worker count, batch boundaries, or the `simd` feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full-width replicas (`Retina`), the training-time arithmetic.
+    #[default]
+    F64,
+    /// Narrowed inference replicas (`RetinaF32`).
+    F32,
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -31,6 +49,8 @@ pub struct ServerConfig {
     /// A worker dispatches a partial batch after waiting this long for
     /// more requests. Latency-only: never changes results.
     pub max_delay: Duration,
+    /// Numeric tier of the worker replicas (default: `F64`).
+    pub precision: Precision,
 }
 
 impl Default for ServerConfig {
@@ -40,6 +60,7 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             max_batch: 16,
             max_delay: Duration::from_millis(2),
+            precision: Precision::F64,
         }
     }
 }
@@ -194,6 +215,21 @@ fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// One worker's model, in the configured numeric tier.
+enum Replica {
+    F64(Retina),
+    F32(Box<RetinaF32>),
+}
+
+impl Replica {
+    fn predict_proba(&mut self, sample: &PackedSample) -> Vec<f64> {
+        match self {
+            Replica::F64(m) => m.predict_proba(sample),
+            Replica::F32(m) => m.predict_proba(sample),
+        }
+    }
+}
+
 /// A running prediction server. Dropping it performs a graceful
 /// shutdown (drain, then join); [`PredictionServer::shutdown`] does the
 /// same and additionally returns the final counters.
@@ -214,9 +250,14 @@ impl PredictionServer {
             config.workers
         }
         .max(1);
-        let mut replicas: Vec<Mutex<Option<Retina>>> = Vec::with_capacity(workers);
+        let mut replicas: Vec<Mutex<Option<Replica>>> = Vec::with_capacity(workers);
         for _ in 0..workers {
-            replicas.push(Mutex::new(Some(snapshot.restore()?)));
+            let model = snapshot.restore()?;
+            let replica = match config.precision {
+                Precision::F64 => Replica::F64(model),
+                Precision::F32 => Replica::F32(Box::new(model.to_f32_inference())),
+            };
+            replicas.push(Mutex::new(Some(replica)));
         }
         let replicas = Arc::new(replicas);
         let shared = Arc::new(Shared {
@@ -376,7 +417,7 @@ impl Drop for PredictionServer {
 
 /// Worker body: collect a batch (size or deadline cutover), then run it
 /// on this worker's replica outside the queue lock.
-fn worker_loop(shared: &Shared, model: &mut Retina) {
+fn worker_loop(shared: &Shared, model: &mut Replica) {
     // A batch never exceeds the queue capacity, whatever `max_batch`
     // says (callers may pass usize::MAX for "drain everything").
     let mut batch: Vec<(PredictRequest, Arc<Slot>)> =

@@ -33,6 +33,7 @@ fn slow_server(queue_capacity: usize) -> PredictionServer {
             queue_capacity,
             max_batch: usize::MAX,
             max_delay: Duration::from_secs(3600),
+            ..ServerConfig::default()
         },
     )
     .expect("start")
@@ -85,6 +86,7 @@ fn no_silent_drops_under_sustained_backpressure() {
             queue_capacity: 3,
             max_batch: 2,
             max_delay: Duration::from_micros(100),
+            ..ServerConfig::default()
         },
     )
     .expect("start");

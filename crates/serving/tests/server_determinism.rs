@@ -122,6 +122,7 @@ fn predictions_are_identical_across_submission_patterns_and_thread_counts() {
             queue_capacity: N_REQUESTS as usize + 8,
             max_batch: 4,
             max_delay: std::time::Duration::from_millis(1),
+            ..ServerConfig::default()
         };
 
         let server = PredictionServer::start(&snapshot, config.clone()).expect("start");

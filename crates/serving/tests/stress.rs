@@ -96,6 +96,7 @@ fn stress(workers: usize) {
                 queue_capacity: 4,
                 max_batch: 3,
                 max_delay: Duration::from_micros(200),
+                ..ServerConfig::default()
             },
         )
         .expect("start"),

@@ -164,7 +164,7 @@ fn field(line: &str, key: &str) -> Option<f64> {
 /// per-benchmark speedup (baseline / current) where names overlap.
 pub fn render_json(baseline: &[BenchEntry], current: &[BenchEntry]) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"cargo bench -p bench --bench substrates\",\n");
+    out.push_str("  \"bench\": \"cargo bench -p bench --bench substrates --features simd\",\n");
     out.push_str("  \"unit\": \"nanoseconds\",\n");
     render_section(&mut out, "baseline", baseline);
     out.push_str(",\n");
@@ -193,9 +193,16 @@ fn render_section(out: &mut String, title: &str, entries: &[BenchEntry]) {
     let lines: Vec<String> = entries
         .iter()
         .map(|e| {
+            // Nanosecond readings are whole numbers; parsing can still
+            // produce a fractional f64 (e.g. µs→ns conversion), so round
+            // at the serialization boundary to keep the committed JSON in
+            // integer ns.
             format!(
                 "    \"{}\": {{ \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {} }}",
-                e.name, e.mean_ns, e.min_ns, e.samples
+                e.name,
+                e.mean_ns.round(),
+                e.min_ns.round(),
+                e.samples
             )
         })
         .collect();
@@ -233,6 +240,22 @@ mod tests {
         assert_eq!(entries[0].min_ns, 793113.0);
         assert_eq!(entries[0].samples, 10);
         assert_eq!(entries[1].min_ns, 543.0);
+    }
+
+    #[test]
+    fn rendered_nanoseconds_are_integers() {
+        // A µs→ns conversion can leave float residue (2035772.9999999998);
+        // the committed JSON must carry whole nanoseconds.
+        let entries = vec![BenchEntry {
+            name: "nn/example".into(),
+            mean_ns: 2_035_772.999_999_999_8,
+            min_ns: 1_999_999.000_000_000_2,
+            samples: 10,
+        }];
+        let mut out = String::new();
+        render_section(&mut out, "current", &entries);
+        assert!(out.contains("\"mean_ns\": 2035773,"), "{out}");
+        assert!(out.contains("\"min_ns\": 1999999,"), "{out}");
     }
 
     #[test]

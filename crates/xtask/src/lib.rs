@@ -552,8 +552,11 @@ mod tests {
 
     #[test]
     fn committed_baseline_is_pinned() {
-        // The baseline must shrink, never silently grow: 28 fingerprints,
-        // all grandfathered A4/A5 warnings. Regenerate deliberately with
+        // The baseline must shrink, never silently grow: 18 fingerprints,
+        // all grandfathered A4/A5 warnings (re-pinned from 28 when the
+        // f32 tier landed: line drift re-fingerprinted the survivors and
+        // several grandfathered sites had been fixed). Regenerate
+        // deliberately with
         // `cargo run -p xtask -- analyze --update-baseline` and re-pin.
         let root = Path::new(env!("CARGO_MANIFEST_DIR"))
             .ancestors()
@@ -563,7 +566,7 @@ mod tests {
         let raw = fs::read_to_string(root.join(baseline::BASELINE_FILE)).expect("baseline exists");
         let entries = raw.matches("fingerprint").count();
         assert_eq!(
-            entries, 28,
+            entries, 18,
             "baseline entry count changed — re-pin deliberately"
         );
         for rule in [

@@ -190,9 +190,24 @@ const BENCH_CHECK_TOLERANCE: f64 = 0.15;
 
 fn run_bench_report(check: bool) -> ExitCode {
     let root = workspace_root();
-    eprintln!("running `cargo bench -p bench --bench substrates` (this builds in release)...");
+    // The committed numbers measure the rollout tier: `--features simd`
+    // arms the AVX2 dispatch in the f32 kernels, and runtime feature
+    // detection degrades to the bit-identical scalar path on hosts
+    // without AVX2 (DESIGN.md §13). The f64 kernels are unaffected by
+    // the feature, so f64 rows are comparable across both builds.
+    eprintln!(
+        "running `cargo bench -p bench --bench substrates --features simd` (this builds in release)..."
+    );
     let out = match std::process::Command::new("cargo")
-        .args(["bench", "-p", "bench", "--bench", "substrates"])
+        .args([
+            "bench",
+            "-p",
+            "bench",
+            "--bench",
+            "substrates",
+            "--features",
+            "simd",
+        ])
         .current_dir(root)
         .output()
     {
