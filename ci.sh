@@ -23,7 +23,8 @@ step "xtask analyze"
 # Semantic passes (A1 shape-flow, A2 determinism, A3 cast-safety, A4
 # panic-reachability, A5 hot-loop allocation, A6 discarded-Result, A7
 # lock-order, A8 blocking-under-lock, A9 condvar-discipline, A10
-# division/log-guard, A11 probability-domain, A12 reduction-inventory).
+# division/log-guard, A11 probability-domain, A12 reduction-inventory,
+# A13 unsafe-contract, A14 capacity/growth, A15 footprint-inventory).
 # Fails on any finding not grandfathered in xtask-baseline.json; the
 # SARIF log is kept for CI systems and editors that ingest it.
 # `cargo run -p xtask -- explain <rule>` documents any failing rule.
@@ -73,6 +74,12 @@ if [[ "${RETINA_BENCH_CHECK:-0}" == "1" ]]; then
     # `current` section; fails on a >15% throughput drop or a >25% p99
     # latency rise on any scenario.
     cargo run -p xtask -- serving-report --check
+
+    step "memory ceiling check"
+    # Dataset generation re-measured against the committed
+    # BENCH_graph.json `current` section; fails when any scenario's
+    # peak RSS (VmHWM) grows more than 25%. Skips itself off Linux.
+    cargo run -p xtask -- mem-report --check
 fi
 
 if [[ "${1:-}" == "--sanitize" ]]; then

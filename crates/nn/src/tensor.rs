@@ -84,7 +84,7 @@ impl Matrix {
 
     /// Xavier/Glorot-uniform initialization: `U(±sqrt(6/(fan_in+fan_out)))`.
     pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
-        let bound = (6.0 / (rows + cols) as f64).sqrt();
+        let bound = (6.0 / (rows + cols).max(1) as f64).sqrt();
         Self::from_fn(rows, cols, |_, _| rng.gen_range(-bound..bound))
     }
 
@@ -121,12 +121,14 @@ impl Matrix {
     /// A row as a slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// A row as a mutable slice.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 

@@ -114,12 +114,14 @@ impl MatrixF32 {
     /// A row as a slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// A row as a mutable slice.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 

@@ -105,7 +105,10 @@ impl<'a> CascadeSimulator<'a> {
 
         let mut participants = vec![false; self.graph.n_users()];
         participants[root_user] = true;
-        let mut out: Vec<Retweet> = Vec::new();
+        // The cascade is retained on its `Tweet` for the dataset's
+        // lifetime, so seed a modest lower bound (typical cascades are
+        // small) rather than reserving `max_retweets` up front.
+        let mut out: Vec<Retweet> = Vec::with_capacity(cfg.max_retweets.min(16));
         // Frontier of spreaders: (user, time, depth).
         let mut frontier: Vec<(usize, f64, u8)> = vec![(root_user, t0, 0)];
 

@@ -146,7 +146,18 @@ impl Dataset {
             (0.1 + 0.5 * rel).min(4.0)
         };
 
-        let mut tweets: Vec<Tweet> = Vec::new();
+        // Both tweet populations have derivable sizes: the per-topic
+        // Table II targets and the per-user ambient count below are
+        // RNG-free, so the full length can be reserved exactly.
+        let expected_roots: usize = roster
+            .iter()
+            .map(|t| roster.scaled_tweets(t.id, config.tweet_scale))
+            .sum();
+        let expected_ambient: usize = users
+            .iter()
+            .map(|p| ((p.activity_rate * config.n_days as f64 * 0.12) as usize).clamp(4, 45))
+            .sum();
+        let mut tweets: Vec<Tweet> = Vec::with_capacity(expected_roots + expected_ambient);
 
         // --- Root (hashtag) tweets per Table II targets -----------------
         for topic in roster.iter() {

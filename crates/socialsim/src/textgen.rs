@@ -78,9 +78,10 @@ impl TextGenerator {
         mean_len: usize,
         lexicon: &[LexiconEntry],
     ) -> Self {
-        let mut slurs = Vec::new();
-        let mut colloquials = Vec::new();
-        let mut phrases = Vec::new();
+        let count = |kind: LexiconEntryKind| lexicon.iter().filter(|e| e.kind == kind).count();
+        let mut slurs = Vec::with_capacity(count(LexiconEntryKind::Slur));
+        let mut colloquials = Vec::with_capacity(count(LexiconEntryKind::Colloquial));
+        let mut phrases = Vec::with_capacity(count(LexiconEntryKind::Phrase));
         for e in lexicon {
             match e.kind {
                 LexiconEntryKind::Slur => slurs.push(e.term.clone()),

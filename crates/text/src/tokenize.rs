@@ -90,7 +90,10 @@ pub fn unigrams_and_bigrams(input: &str) -> Vec<String> {
 /// feature universe of Waseem & Hovy's hate detector). Tokens shorter
 /// than `n` contribute themselves once at that order.
 pub fn char_ngrams(tokens: &[String], n_min: usize, n_max: usize) -> Vec<String> {
-    let mut out = Vec::new();
+    // Lower-bound reservation: every token yields at least one entry
+    // per order, which skips the early doubling steps of the hot path.
+    let orders = n_max.saturating_sub(n_min) + 1;
+    let mut out = Vec::with_capacity(tokens.len() * orders);
     for tok in tokens {
         let chars: Vec<char> = tok.chars().collect();
         for n in n_min..=n_max {

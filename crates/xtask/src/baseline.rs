@@ -90,8 +90,9 @@ impl Baseline {
     /// and counts shrink to what still occurs.
     pub fn split(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
         let mut budget = self.entries.clone();
-        let mut kept = Vec::new();
-        let mut absorbed = Vec::new();
+        let mut kept = Vec::with_capacity(findings.len());
+        let mut absorbed =
+            Vec::with_capacity(self.entries.values().sum::<usize>().min(findings.len()));
         for f in findings {
             match budget.get_mut(&f.fingerprint()) {
                 Some(n) if *n > 0 => {

@@ -208,6 +208,52 @@ pub const CATALOGUE: &[RuleDoc] = &[
               Route new reductions through the blessed kernels to keep it \
               short.",
     },
+    RuleDoc {
+        code: "A13",
+        key: "unsafe-contract",
+        title: "unsafe contracts: SAFETY comments and feature-gated dispatch",
+        rationale: "An `unsafe` block without a written obligation rots into \
+                    folklore; a `#[target_feature]` fn called outside a \
+                    runtime `is_x86_feature_detected!` check is undefined \
+                    behaviour on older hosts; unchecked indexing and raw-\
+                    pointer arithmetic outside the blessed simd kernels \
+                    trades the memory-safety baseline for nothing the \
+                    dispatch tier doesn't already provide.",
+        fix: "Write a `// SAFETY:` comment directly above the unsafe block \
+              stating the invariant that discharges it, guard every \
+              `#[target_feature]` call behind `is_x86_feature_detected!`, \
+              and keep unchecked ops inside `crates/nn/src/tensor32.rs`; \
+              annotate `// lint: allow(unsafe-contract) <proof>` only with \
+              the obligation written out.",
+    },
+    RuleDoc {
+        code: "A14",
+        key: "mem-flow",
+        title: "capacity and growth discipline on the hot path",
+        rationale: "A hot-path `Vec::new()` filled by a loop whose length was \
+                    derivable pays O(log n) reallocations and copies for \
+                    nothing; a growable collection on a long-lived struct \
+                    with inserts but no remove/clear/len-bound is a slow \
+                    leak that only shows up days into a serving run.",
+        fix: "Pre-size with `Vec::with_capacity` from the derivable bound \
+              (bit-identical: capacity never changes contents), bound or \
+              drain long-lived collections, or annotate \
+              `// lint: allow(mem-flow) <why the growth is bounded>`.",
+    },
+    RuleDoc {
+        code: "A15",
+        key: "mem-flow",
+        title: "memory-footprint inventory (Notes only)",
+        rationale: "The million-user scale-up (ROADMAP item 1) is budgeted \
+                    against per-element bytes of the socialsim graph/cascade/\
+                    dataset types and the serving queue types; the estimated \
+                    layout inventory (also rendered to docs/memgraph.dot and \
+                    measured end-to-end by `mem-report`'s VmHWM ceiling in \
+                    BENCH_graph.json) is that budget's line-item sheet.",
+        fix: "Nothing to fix — A15 is an inventory and never fails the \
+              build. Keep per-element types lean (u32 ids, SoA layouts) to \
+              keep the sheet short.",
+    },
 ];
 
 /// Look up one rule by id (case-insensitive).
@@ -231,7 +277,7 @@ mod tests {
     fn every_analysis_pass_and_rule_is_documented() {
         for code in [
             "R1", "R2", "R3", "R4", "R5", "allow", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8",
-            "A9", "A10", "A11", "A12",
+            "A9", "A10", "A11", "A12", "A13", "A14", "A15",
         ] {
             assert!(lookup(code).is_some(), "missing catalogue entry for {code}");
         }

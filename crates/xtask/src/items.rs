@@ -156,13 +156,22 @@ fn parse_type_path(tokens: &[Token], mut k: usize) -> Option<(String, usize)> {
     Some((name, k))
 }
 
-/// First `{` at paren/bracket depth 0 from `k`.
+/// First `{` at paren/bracket depth 0 from `k`. Bails when the depth
+/// goes negative: that means `k` sat inside an enclosing delimiter
+/// (e.g. a param-position `impl FnMut(...)`) and the next brace at
+/// "depth 0" would be an unrelated closure body, not this item's —
+/// latching onto it used to silently skip every fn in between.
 fn find_body_open(tokens: &[Token], mut k: usize) -> Option<usize> {
     let mut depth = 0i32;
     while k < tokens.len() {
         match tokens[k].text.as_str() {
             "(" | "[" => depth += 1,
-            ")" | "]" => depth -= 1,
+            ")" | "]" => {
+                depth -= 1;
+                if depth < 0 {
+                    return None;
+                }
+            }
             "{" if depth == 0 => return Some(k),
             ";" if depth == 0 => return None,
             _ => {}

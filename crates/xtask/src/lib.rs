@@ -16,20 +16,25 @@
 //! (A1 shape-flow, A2 determinism, A3 cast-safety, the
 //! call-graph-based A4 panic-reachability, A5 hot-loop allocation and
 //! A6 discarded-Result, the lock-region-model-based A7 lock-order,
-//! A8 blocking-under-lock and A9 condvar-discipline, plus the
+//! A8 blocking-under-lock and A9 condvar-discipline, the
 //! float-value-lattice-based A10 division/log-guard, A11
-//! probability-domain and A12 reduction-inventory — see [`passes`],
-//! [`items`], [`callgraph`], [`lockmodel`], [`floatflow`]) with SARIF
+//! probability-domain and A12 reduction-inventory, plus the
+//! memory-shape-model-based A13 unsafe-contract, A14 capacity/growth
+//! and A15 footprint-inventory — see [`passes`], [`items`],
+//! [`callgraph`], [`lockmodel`], [`floatflow`], [`memflow`]) with SARIF
 //! 2.1.0 output ([`sarif`]) and a committed finding baseline
 //! ([`baseline`]). `explain <rule>` prints each rule's rationale and
-//! fix guidance from the shared catalogue ([`explain`]).
+//! fix guidance from the shared catalogue ([`explain`]). `mem-report`
+//! measures peak RSS for the dataset-generation scenario and maintains
+//! `BENCH_graph.json` ([`memreport`]).
 //!
 //! Violations can be suppressed in place with
 //! `// lint: allow(<key>) <reason>` where `<key>` is one of
 //! `unwrap`, `float-cmp`, `prob-guard`, `index` (lint) or `shape`,
 //! `determinism`, `lossy-cast`, `index-underflow`, `panic-reach`,
 //! `hot-alloc`, `discard-result`, `lock-order`, `lock-block`,
-//! `condvar`, `float-flow` (analyze); the reason is required.
+//! `condvar`, `float-flow`, `unsafe-contract`, `mem-flow` (analyze);
+//! the reason is required.
 
 pub mod baseline;
 pub mod bench;
@@ -39,6 +44,8 @@ pub mod floatflow;
 pub mod items;
 pub mod lexer;
 pub mod lockmodel;
+pub mod memflow;
+pub mod memreport;
 pub mod passes;
 pub mod rules;
 pub mod sarif;
@@ -521,6 +528,70 @@ mod tests {
             committed, flowdot,
             "docs/floatflow.dot is stale — regenerate with \
              `cargo run -p xtask -- analyze --emit-floatflow docs/floatflow.dot`"
+        );
+        // The A15 pass rendered the memory-footprint graph, and the
+        // committed docs/memgraph.dot matches it.
+        let memdot = report
+            .artifacts
+            .iter()
+            .find(|(name, _)| name == "memgraph.dot")
+            .map(|(_, dot)| dot.as_str())
+            .expect("A15 produced no memgraph artifact");
+        assert!(memdot.contains("digraph memgraph"));
+        assert!(
+            memdot.contains("socialsim::Tweet") && memdot.contains("serving::QueueState"),
+            "memgraph is missing the scale-critical types:\n{memdot}"
+        );
+        let committed =
+            fs::read_to_string(root.join("docs/memgraph.dot")).expect("docs/memgraph.dot");
+        assert_eq!(
+            committed, memdot,
+            "docs/memgraph.dot is stale — regenerate with \
+             `cargo run -p xtask -- analyze --emit-memgraph docs/memgraph.dot`"
+        );
+    }
+
+    #[test]
+    fn real_tree_simd_kernels_satisfy_the_unsafe_contract() {
+        // Acceptance pin for A13: the three AVX2 dispatch sites in
+        // crates/nn/src/tensor32.rs are the only unsafe in the tree and
+        // must pass as written — SAFETY comment above each block,
+        // `is_x86_feature_detected!` before each `#[target_feature]`
+        // call, unchecked ops confined to the blessed file — without
+        // any allow-comment.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_path_buf();
+        let ctx = passes::load_workspace(&root).expect("workspace loads");
+        let tensor32 = ctx
+            .files
+            .iter()
+            .find(|f| f.source.path.ends_with("crates/nn/src/tensor32.rs"))
+            .expect("tensor32.rs in workspace");
+        assert!(
+            tensor32.tokens.iter().any(|t| t.text == "unsafe"),
+            "tensor32.rs lost its simd dispatch blocks"
+        );
+        let (allowed, _) = tensor32.source.allows("unsafe-contract");
+        assert!(
+            allowed.is_empty(),
+            "tensor32.rs must pass A13 without allow-comments"
+        );
+        let out = passes::registry()
+            .iter()
+            .find(|p| p.id() == "A13")
+            .expect("A13 registered")
+            .run(&ctx);
+        let on_tensor32: Vec<_> = out
+            .findings
+            .iter()
+            .filter(|f| f.path.ends_with("tensor32.rs"))
+            .collect();
+        assert!(
+            on_tensor32.is_empty(),
+            "A13 flagged the blessed simd kernels: {on_tensor32:?}"
         );
     }
 

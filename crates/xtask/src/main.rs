@@ -4,10 +4,12 @@
 //!                                [--emit-dot <path>]
 //!                                [--emit-callgraph <path>]
 //!                                [--emit-lockgraph <path>]
-//!                                [--emit-floatflow <path>]`
+//!                                [--emit-floatflow <path>]
+//!                                [--emit-memgraph <path>]`
 //! `cargo run -p xtask -- explain [<rule>]`
 //! `cargo run -p xtask -- bench-report [--check]`
 //! `cargo run -p xtask -- serving-report [--check]`
+//! `cargo run -p xtask -- mem-report [--check]`
 //!
 //! `lint` exits nonzero when any R1–R4 violation (or malformed
 //! allow-comment) is found. The R5 open-marker (todo/fixme) inventory
@@ -19,7 +21,8 @@
 //! A3 cast-safety, A4 panic-reachability, A5 hot-loop allocation, A6
 //! discarded-Result, A7 lock-order, A8 blocking-under-lock, A9
 //! condvar-discipline, A10 division/log-guard, A11 probability-domain,
-//! A12 reduction-inventory) over the workspace and exits nonzero when
+//! A12 reduction-inventory, A13 unsafe-contract, A14 capacity/growth,
+//! A15 footprint-inventory) over the workspace and exits nonzero when
 //! any non-baselined warning/error-severity finding remains.
 //! `--update-baseline` grandfathers the current failing findings (Notes
 //! are never baselined); `--prune-baseline` rewrites the committed
@@ -29,10 +32,12 @@
 //! rendering); `--emit-lockgraph` writes the A7 lock-order graph
 //! (`docs/lockgraph.dot` is the committed rendering); `--emit-floatflow`
 //! writes the A12 float-domain/reduction-inventory graph
-//! (`docs/floatflow.dot` is the committed rendering).
+//! (`docs/floatflow.dot` is the committed rendering); `--emit-memgraph`
+//! writes the A15 memory-footprint graph (`docs/memgraph.dot` is the
+//! committed rendering).
 //!
 //! `explain <rule>` prints the rationale and fix guidance for one rule
-//! or pass (`R1`..`R5`, `allow`, `A1`..`A12`); with no argument it
+//! or pass (`R1`..`R5`, `allow`, `A1`..`A15`); with no argument it
 //! prints the whole catalogue.
 //!
 //! `bench-report` runs the substrates criterion benchmark and rewrites
@@ -48,6 +53,15 @@
 //! `--check` the fresh run must not drop throughput more than 15% or
 //! raise p99 latency more than 25% against the committed `current`
 //! section (also behind `RETINA_BENCH_CHECK=1` in CI).
+//!
+//! `mem-report` runs the `graph_mem` harness — dataset generation at
+//! two scales with the process peak RSS (`VmHWM` from
+//! `/proc/self/status`) sampled after each — and rewrites
+//! `BENCH_graph.json` at the workspace root, the measured memory
+//! ceiling for ROADMAP item 1. With `--check` the fresh run must not
+//! raise `vmhwm_kb` more than 25% over the committed `current` section
+//! (behind `RETINA_BENCH_CHECK=1` in CI). Linux-only: on other hosts
+//! the harness reports no samples and the command skips with a notice.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -60,10 +74,12 @@ fn main() -> ExitCode {
              cargo run -p xtask -- analyze [--format text|json|sarif] \
              [--baseline] [--update-baseline] [--prune-baseline] \
              [--emit-dot <path>] [--emit-callgraph <path>] \
-             [--emit-lockgraph <path>] [--emit-floatflow <path>]\n       \
+             [--emit-lockgraph <path>] [--emit-floatflow <path>] \
+             [--emit-memgraph <path>]\n       \
              cargo run -p xtask -- explain [<rule>]\n       \
              cargo run -p xtask -- bench-report [--check]\n       \
-             cargo run -p xtask -- serving-report [--check]"
+             cargo run -p xtask -- serving-report [--check]\n       \
+             cargo run -p xtask -- mem-report [--check]"
         );
         return ExitCode::from(2);
     };
@@ -112,10 +128,22 @@ fn main() -> ExitCode {
             }
             run_serving_report(check)
         }
+        "mem-report" => {
+            let check = args.iter().any(|a| a == "--check");
+            let unknown: Vec<&String> = args[1..]
+                .iter()
+                .filter(|a| a.as_str() != "--check")
+                .collect();
+            if !unknown.is_empty() {
+                eprintln!("unknown mem-report option(s): {unknown:?}");
+                return ExitCode::from(2);
+            }
+            run_mem_report(check)
+        }
         other => {
             eprintln!(
                 "unknown subcommand `{other}`; expected `lint`, `analyze`, `explain`, \
-                 `bench-report`, or `serving-report`"
+                 `bench-report`, `serving-report`, or `mem-report`"
             );
             ExitCode::from(2)
         }
@@ -450,6 +478,129 @@ fn run_serving_report(check: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Name of the committed memory-ceiling report at the workspace root.
+const MEM_REPORT_FILE: &str = "BENCH_graph.json";
+
+/// Fractional peak-RSS growth tolerated by `mem-report --check`.
+const MEM_CHECK_TOLERANCE: f64 = 0.25;
+
+fn run_mem_report(check: bool) -> ExitCode {
+    let root = workspace_root();
+    eprintln!("running `graph_mem` (this builds in release)...");
+    let out = match std::process::Command::new("cargo")
+        .args(["run", "--release", "-p", "bench", "--bin", "graph_mem"])
+        .current_dir(root)
+        .output()
+    {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("failed to spawn the graph_mem harness: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !out.status.success() {
+        eprintln!(
+            "graph_mem failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        return ExitCode::from(2);
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let current = xtask::memreport::parse_mem_lines(&stdout);
+    if current.is_empty() {
+        // The harness prints a skip notice instead of samples where
+        // `/proc/self/status` does not exist (non-Linux hosts).
+        eprintln!("graph_mem reported no peak-RSS samples; skipping:\n{stdout}");
+        return ExitCode::SUCCESS;
+    }
+
+    let path = root.join(MEM_REPORT_FILE);
+    if check {
+        // Regression gate: compare the fresh run against the committed
+        // ceiling; never rewrite the file.
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(existing) => xtask::memreport::parse_section(&existing, "current"),
+            Err(e) => {
+                eprintln!("--check needs a committed {MEM_REPORT_FILE}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if committed.is_empty() {
+            eprintln!("--check found no `current` entries in {MEM_REPORT_FILE}");
+            return ExitCode::from(2);
+        }
+        let regs = xtask::memreport::regressions(&committed, &current, MEM_CHECK_TOLERANCE);
+        for entry in &current {
+            let vs = committed
+                .iter()
+                .find(|c| c.name == entry.name)
+                .filter(|c| c.vmhwm_kb > 0)
+                .map(|c| {
+                    format!(
+                        "  ({:+.1}% vs committed ceiling)",
+                        (entry.vmhwm_kb as f64 / c.vmhwm_kb as f64 - 1.0) * 100.0
+                    )
+                })
+                .unwrap_or_else(|| "  (no committed row)".into());
+            println!(
+                "memgraph {:<40} peak {:>9} KiB{vs}",
+                entry.name, entry.vmhwm_kb
+            );
+        }
+        return if regs.is_empty() {
+            eprintln!(
+                "mem check passed: no scenario peak grew more than {:.0}%",
+                MEM_CHECK_TOLERANCE * 100.0
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("mem check FAILED — {} regression(s):", regs.len());
+            for r in &regs {
+                eprintln!("  {r}");
+            }
+            ExitCode::FAILURE
+        };
+    }
+    // A pre-existing report pins the baseline; the very first run seeds
+    // it from the fresh numbers.
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(existing) => {
+            let b = xtask::memreport::parse_section(&existing, "baseline");
+            if b.is_empty() {
+                current.clone()
+            } else {
+                b
+            }
+        }
+        Err(_) => current.clone(),
+    };
+    let json = xtask::memreport::render_json(&baseline, &current);
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("failed to write {}: {e}", path.display());
+        return ExitCode::from(2);
+    }
+
+    for entry in &current {
+        let vs = baseline
+            .iter()
+            .find(|b| b.name == entry.name)
+            .filter(|b| b.vmhwm_kb > 0)
+            .map(|b| {
+                format!(
+                    "  ({:.2}x peak vs baseline)",
+                    entry.vmhwm_kb as f64 / b.vmhwm_kb as f64
+                )
+            })
+            .unwrap_or_default();
+        println!(
+            "memgraph {:<40} peak {:>9} KiB  users {:>8}  tweets {:>8}  retweets {:>9}{vs}",
+            entry.name, entry.vmhwm_kb, entry.users, entry.tweets, entry.retweets
+        );
+    }
+    eprintln!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
 struct AnalyzeOpts {
     format: Format,
     use_baseline: bool,
@@ -459,6 +610,7 @@ struct AnalyzeOpts {
     emit_callgraph: Option<String>,
     emit_lockgraph: Option<String>,
     emit_floatflow: Option<String>,
+    emit_memgraph: Option<String>,
 }
 
 enum Format {
@@ -478,6 +630,7 @@ impl AnalyzeOpts {
             emit_callgraph: None,
             emit_lockgraph: None,
             emit_floatflow: None,
+            emit_memgraph: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -517,6 +670,13 @@ impl AnalyzeOpts {
                     opts.emit_floatflow = Some(
                         it.next()
                             .ok_or("--emit-floatflow expects a file path")?
+                            .clone(),
+                    );
+                }
+                "--emit-memgraph" => {
+                    opts.emit_memgraph = Some(
+                        it.next()
+                            .ok_or("--emit-memgraph expects a file path")?
                             .clone(),
                     );
                 }
@@ -675,6 +835,26 @@ fn run_analyze(opts: &AnalyzeOpts) -> ExitCode {
             }
             None => {
                 eprintln!("no float-flow artifact produced (A12 emitted nothing)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(path) = &opts.emit_memgraph {
+        match report
+            .artifacts
+            .iter()
+            .find(|(name, _)| name == "memgraph.dot")
+        {
+            Some((_, dot)) => {
+                if let Err(e) = std::fs::write(path, dot) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                eprintln!("wrote memory footprint graph to {path}");
+            }
+            None => {
+                eprintln!("no memgraph artifact produced (A15 emitted nothing)");
                 return ExitCode::from(2);
             }
         }

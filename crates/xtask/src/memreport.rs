@@ -1,0 +1,281 @@
+//! Memory-ceiling report plumbing for `cargo run -p xtask -- mem-report`.
+//!
+//! Parses the line-oriented output of the `graph_mem` harness
+//! (`memgraph <scenario> vmhwm_kb <u64> users <u64> tweets <u64>
+//! retweets <u64>`) and renders `BENCH_graph.json`: the committed
+//! peak-RSS record for the dataset-generation scenarios — the memory
+//! ceiling ROADMAP item 1 (million-user socialsim) is benchmarked
+//! against. The harness self-reports `VmHWM` from `/proc/self/status`
+//! (std-only; off Linux it prints a skip notice instead of numbers).
+//! The first run seeds the `baseline` section; later runs preserve it
+//! and refresh `current`. `--check` compares a fresh run against the
+//! committed `current` numbers and fails when the peak grows beyond
+//! tolerance.
+
+/// One dataset-generation measurement. `vmhwm_kb` is the process peak
+/// resident set (`VmHWM`) in kibibytes; the corpus-size columns record
+/// what that peak paid for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemEntry {
+    /// Scenario id, e.g. `dataset/generate_2k_users`.
+    pub name: String,
+    /// Peak resident set size in KiB, from `/proc/self/status` VmHWM.
+    pub vmhwm_kb: u64,
+    /// Users in the generated follower graph.
+    pub users: u64,
+    /// Root tweets generated.
+    pub tweets: u64,
+    /// Retweet events across all cascades.
+    pub retweets: u64,
+}
+
+/// Extract every `memgraph ...` line from a harness run. Non-matching
+/// lines (cargo chatter, skip notices) are ignored.
+pub fn parse_mem_lines(out: &str) -> Vec<MemEntry> {
+    let mut entries = Vec::new();
+    for line in out.lines() {
+        let Some(rest) = line.strip_prefix("memgraph ") else {
+            continue;
+        };
+        let mut words = rest.split_whitespace();
+        let Some(name) = words.next() else { continue };
+        let mut vmhwm_kb = None;
+        let mut users = None;
+        let mut tweets = None;
+        let mut retweets = None;
+        while let (Some(key), Some(value)) = (words.next(), words.next()) {
+            let slot = match key {
+                "vmhwm_kb" => &mut vmhwm_kb,
+                "users" => &mut users,
+                "tweets" => &mut tweets,
+                "retweets" => &mut retweets,
+                _ => continue,
+            };
+            *slot = value.parse::<u64>().ok();
+        }
+        let (Some(vmhwm_kb), Some(users), Some(tweets), Some(retweets)) =
+            (vmhwm_kb, users, tweets, retweets)
+        else {
+            continue;
+        };
+        entries.push(MemEntry {
+            name: name.to_string(),
+            vmhwm_kb,
+            users,
+            tweets,
+            retweets,
+        });
+    }
+    entries
+}
+
+/// Pull a named entry section (`baseline` / `current`) out of a
+/// previously rendered `BENCH_graph.json`. Only understands the exact
+/// shape [`render_json`] writes.
+pub fn parse_section(json: &str, title: &str) -> Vec<MemEntry> {
+    let needle = format!("\"{title}\": {{");
+    let Some(start) = json.find(&needle) else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    for line in json[start..].lines().skip(1) {
+        let line = line.trim();
+        if line == "}" || line == "}," {
+            break;
+        }
+        let Some(entry) = parse_entry_line(line) else {
+            continue;
+        };
+        entries.push(entry);
+    }
+    entries
+}
+
+/// Compare a fresh run against committed numbers. A scenario regresses
+/// when its peak RSS grows more than `tolerance` (e.g. `0.25` = +25%)
+/// over the committed ceiling. Scenarios present on only one side are
+/// skipped — adding or retiring a scale point is not a regression.
+pub fn regressions(committed: &[MemEntry], fresh: &[MemEntry], tolerance: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    for f in fresh {
+        let Some(c) = committed.iter().find(|c| c.name == f.name) else {
+            continue;
+        };
+        if c.vmhwm_kb > 0 && (f.vmhwm_kb as f64) > (c.vmhwm_kb as f64) * (1.0 + tolerance) {
+            out.push(format!(
+                "{}: peak RSS {} KiB vs committed ceiling {} KiB ({:+.1}%, tolerance +{:.0}%)",
+                f.name,
+                f.vmhwm_kb,
+                c.vmhwm_kb,
+                (f.vmhwm_kb as f64 / c.vmhwm_kb as f64 - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    out
+}
+
+fn parse_entry_line(line: &str) -> Option<MemEntry> {
+    // `"name": { "vmhwm_kb": 28096, "users": 2000, "tweets": 310, "retweets": 5121 },`
+    let rest = line.strip_prefix('"')?;
+    let name_end = rest.find('"')?;
+    let name = rest[..name_end].to_string();
+    let vmhwm_kb = field(rest, "\"vmhwm_kb\": ")?;
+    let users = field(rest, "\"users\": ")?;
+    let tweets = field(rest, "\"tweets\": ")?;
+    let retweets = field(rest, "\"retweets\": ")?;
+    Some(MemEntry {
+        name,
+        vmhwm_kb,
+        users,
+        tweets,
+        retweets,
+    })
+}
+
+fn field(line: &str, key: &str) -> Option<u64> {
+    let at = line.find(key)? + key.len();
+    let tail = &line[at..];
+    let end = tail
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Render the committed report: recorded ceiling, the fresh run, and a
+/// per-scenario peak ratio (current / baseline) where names overlap.
+pub fn render_json(baseline: &[MemEntry], current: &[MemEntry]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"cargo run --release -p bench --bin graph_mem\",\n");
+    out.push_str(
+        "  \"unit\": \"vmhwm_kb = peak resident set (VmHWM) in KiB, \
+         from /proc/self/status\",\n",
+    );
+    render_section(&mut out, "baseline", baseline);
+    out.push_str(",\n");
+    render_section(&mut out, "current", current);
+    out.push_str(",\n  \"peak_vs_baseline\": {\n");
+    let mut pairs = Vec::new();
+    for cur in current {
+        if let Some(base) = baseline.iter().find(|b| b.name == cur.name) {
+            if base.vmhwm_kb > 0 {
+                pairs.push(format!(
+                    "    \"{}\": {{ \"vmhwm\": {:.2} }}",
+                    cur.name,
+                    cur.vmhwm_kb as f64 / base.vmhwm_kb as f64
+                ));
+            }
+        }
+    }
+    out.push_str(&pairs.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+fn render_section(out: &mut String, title: &str, entries: &[MemEntry]) {
+    out.push_str(&format!("  \"{title}\": {{\n"));
+    let lines: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "    \"{}\": {{ \"vmhwm_kb\": {}, \"users\": {}, \"tweets\": {}, \
+                 \"retweets\": {} }}",
+                e.name, e.vmhwm_kb, e.users, e.tweets, e.retweets
+            )
+        })
+        .collect();
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  }");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_lines_parse_the_harness_report_format() {
+        let out = "   Compiling bench v0.1.0\n\
+                   generating dataset/generate_2k_users...\n\
+                   memgraph dataset/generate_2k_users vmhwm_kb 28096 \
+                   users 2000 tweets 310 retweets 5121\n\
+                   memgraph dataset/generate_tiny vmhwm_kb 9120 \
+                   users 400 tweets 40 retweets 220\n\
+                   mem-report: VmHWM unavailable on this platform, skipping\n";
+        let entries = parse_mem_lines(out);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "dataset/generate_2k_users");
+        assert_eq!(entries[0].vmhwm_kb, 28096);
+        assert_eq!(entries[0].users, 2000);
+        assert_eq!(entries[0].tweets, 310);
+        assert_eq!(entries[0].retweets, 5121);
+        assert_eq!(entries[1].vmhwm_kb, 9120);
+    }
+
+    #[test]
+    fn sections_survive_a_render_parse_round_trip() {
+        let baseline = vec![MemEntry {
+            name: "dataset/generate_2k_users".into(),
+            vmhwm_kb: 20000,
+            users: 2000,
+            tweets: 310,
+            retweets: 5121,
+        }];
+        let current = vec![MemEntry {
+            name: "dataset/generate_2k_users".into(),
+            vmhwm_kb: 25000,
+            users: 2000,
+            tweets: 310,
+            retweets: 5121,
+        }];
+        let json = render_json(&baseline, &current);
+        assert_eq!(parse_section(&json, "baseline"), baseline);
+        assert_eq!(parse_section(&json, "current"), current);
+        assert!(parse_section(&json, "nonexistent").is_empty());
+        // 1.25× peak shows up in the summary.
+        assert!(json.contains("\"vmhwm\": 1.25"));
+    }
+
+    #[test]
+    fn peak_growth_beyond_tolerance_regresses() {
+        let entry = |name: &str, kb: u64| MemEntry {
+            name: name.into(),
+            vmhwm_kb: kb,
+            users: 2000,
+            tweets: 300,
+            retweets: 5000,
+        };
+        let committed = vec![
+            entry("ok", 20000),
+            entry("bloated", 20000),
+            entry("retired", 20000),
+        ];
+        let fresh = vec![
+            entry("ok", 22000),      // +10%: within tolerance
+            entry("bloated", 30000), // +50%: regression
+            entry("new", 90000),     // no committed row — skipped
+        ];
+        let regs = regressions(&committed, &fresh, 0.25);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].starts_with("bloated:"), "{regs:?}");
+        assert!(regs[0].contains("+50.0%"));
+    }
+
+    #[test]
+    fn zero_committed_peak_never_divides() {
+        let z = MemEntry {
+            name: "z".into(),
+            vmhwm_kb: 0,
+            users: 0,
+            tweets: 0,
+            retweets: 0,
+        };
+        let f = MemEntry {
+            vmhwm_kb: 5,
+            ..z.clone()
+        };
+        assert!(regressions(&[z.clone()], &[f], 0.25).is_empty());
+        // Rendering a summary against a zero baseline skips the pair.
+        let json = render_json(&[z.clone()], &[z]);
+        assert!(json.contains("\"peak_vs_baseline\": {\n\n  }"));
+    }
+}

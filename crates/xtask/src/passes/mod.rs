@@ -48,6 +48,17 @@
 //!   inventory of float accumulation loops outside the blessed
 //!   `*_into`/`*_rows` kernels, `as f32` narrowings and mixed-width
 //!   lines; emits the `floatflow.dot` artifact.
+//! - **A13 unsafe-contract** (`unsafe_contract`): every `unsafe` must
+//!   carry a `// SAFETY:` comment; `#[target_feature]` fns callable
+//!   only behind runtime `is_x86_feature_detected!` dispatch;
+//!   unchecked/raw-pointer ops outside the blessed simd kernels.
+//! - **A14 capacity/growth** (`capacity_growth`): derivable-length
+//!   `Vec::new()`+`push` loops on the memory hot path must pre-size
+//!   with `with_capacity`; growable collections on long-lived structs
+//!   ([`crate::memflow`]) must have a remove/clear/bound site.
+//! - **A15 footprint-inventory** (`footprint`): Notes-only per-element
+//!   byte estimates for the socialsim graph/cascade/dataset and
+//!   serving queue types; emits the `memgraph.dot` artifact.
 //!
 //! Findings carry a severity; `Error` and `Warning` fail the run,
 //! `Note` never does. Suppression uses the same allow-comment machinery
@@ -55,13 +66,17 @@
 //! keys `shape`, `determinism`, `lossy-cast`, `index-underflow`,
 //! `panic-reach`, `hot-alloc`, `discard-result`, `lock-order`,
 //! `lock-block`, `condvar`, `float-flow` (shared by A10–A12; the
-//! misuse check for it runs once, in A10). A reasonless allow for the
-//! A4–A12 keys is itself an Error (rule `allow`).
+//! misuse check for it runs once, in A10), `unsafe-contract`,
+//! `mem-flow` (shared by A14–A15; misuse check runs once, in A14). A
+//! reasonless allow for the A4–A15 keys is itself an Error (rule
+//! `allow`).
 
+pub mod capacity_growth;
 pub mod cast_safety;
 pub mod condvar;
 pub mod determinism;
 pub mod div_guard;
+pub mod footprint;
 pub mod hot_alloc;
 pub mod lock_block;
 pub mod lock_order;
@@ -70,6 +85,7 @@ pub mod prob_domain;
 pub mod reduction_inventory;
 pub mod result_discard;
 pub mod shape_flow;
+pub mod unsafe_contract;
 
 use crate::lexer::{self, Token};
 use crate::source::SourceFile;
@@ -205,6 +221,9 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(div_guard::DivGuard),
         Box::new(prob_domain::ProbDomain),
         Box::new(reduction_inventory::ReductionInventory),
+        Box::new(unsafe_contract::UnsafeContract),
+        Box::new(capacity_growth::CapacityGrowth),
+        Box::new(footprint::Footprint),
     ]
 }
 

@@ -104,7 +104,8 @@ mod tests {
         assert!(s.contains("rules"));
         // Every registered pass appears in the rule catalogue.
         for id in [
-            "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11", "A12",
+            "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11", "A12", "A13",
+            "A14", "A15",
         ] {
             assert!(
                 s.contains(&format!("\"id\": \"{id}\"")),
